@@ -1,0 +1,87 @@
+"""Shared infrastructure for the benchmark harness (helpers).
+
+Every benchmark regenerates one table or figure of the paper (see
+DESIGN.md's experiment index).  The traces and the per-configuration
+simulation results are shared across benchmark files through session-scoped
+fixtures and the memoising :class:`~repro.sim.runner.SuiteRunner`, so each
+predictor configuration is simulated exactly once per pytest session.
+
+Environment knobs (all optional):
+
+``REPRO_BENCH_LENGTH``
+    Conditional branches per benchmark trace (default 2500).  Larger values
+    sharpen the numbers at the cost of run time.
+``REPRO_BENCH_PROFILE``
+    Predictor size profile, ``"small"`` (default) or ``"default"``.
+``REPRO_BENCH_SUITE_SUBSET``
+    Comma-separated benchmark names to restrict the suites to (mainly for
+    quick interactive runs).
+
+Reports are printed and also written to ``benchmarks/results/<id>.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+from repro.analysis.experiments import ExperimentResult, run_experiment
+from repro.sim.runner import SuiteRunner
+from repro.workloads.suites import generate_suite
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_length() -> int:
+    """Conditional branches per benchmark trace."""
+    return int(os.environ.get("REPRO_BENCH_LENGTH", "2500"))
+
+
+def bench_profile() -> str:
+    """Predictor size profile used by the harness."""
+    return os.environ.get("REPRO_BENCH_PROFILE", "small")
+
+
+def _subset() -> Optional[Sequence[str]]:
+    raw = os.environ.get("REPRO_BENCH_SUITE_SUBSET", "").strip()
+    if not raw:
+        return None
+    return [name.strip() for name in raw.split(",") if name.strip()]
+
+
+def build_runners() -> Dict[str, SuiteRunner]:
+    """One memoising runner per synthetic suite (CBP4-like and CBP3-like)."""
+    subset = _subset()
+    runners_by_suite: Dict[str, SuiteRunner] = {}
+    for suite in ("cbp4like", "cbp3like"):
+        traces = generate_suite(
+            suite,
+            target_conditional_branches=bench_length(),
+            benchmarks=subset,
+        )
+        if not traces:
+            raise RuntimeError(
+                f"REPRO_BENCH_SUITE_SUBSET selected no benchmarks from {suite}"
+            )
+        runners_by_suite[suite] = SuiteRunner(traces, profile=bench_profile())
+    return runners_by_suite
+
+
+def run_and_report(experiment_id: str, runners, benchmark) -> ExperimentResult:
+    """Run one registered experiment under the pytest-benchmark timer.
+
+    The experiment executes exactly once (``rounds=1``); repeated timing
+    would re-simulate nothing thanks to the runner cache and would only
+    distort the reported duration.  The resulting report is printed and
+    persisted under ``benchmarks/results/``.
+    """
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id, runners), rounds=1, iterations=1
+    )
+    report = result.report()
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{experiment_id}.txt").write_text(report + "\n", encoding="utf-8")
+    print()
+    print(report)
+    return result

@@ -1,0 +1,92 @@
+"""Ablation: IMLI-OH structure sweep (DESIGN.md section 6).
+
+The paper uses a 1 Kbit IMLI history table (16 tracked branches x 64
+iterations) and a 256-entry IMLI-OH prediction table.  This ablation sweeps
+both on the wormhole-correlated benchmarks and also evaluates the optional
+refinement of hashing the IMLI counter into global-history table indices
+(Section 4.2).
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import RESULTS_DIR, bench_length, bench_profile
+
+from repro.analysis.tables import format_table
+from repro.core.imli_oh import IMLIOuterHistoryComponent
+from repro.predictors.composites import _PROFILES, CompositeOptions, build  # noqa: SLF001
+from repro.predictors.tage_gsc import TAGEGSCConfig, TAGEGSCPredictor
+from repro.sim.engine import simulate
+from repro.sim.metrics import average_mpki
+from repro.workloads.suites import generate_suite
+
+WORMHOLE_BENCHMARKS_CBP4 = ["SPEC2K6-12", "MM-4"]
+WORMHOLE_BENCHMARKS_CBP3 = ["CLIENT02", "MM07"]
+
+
+def _traces():
+    length = max(1500, bench_length() // 2)
+    return generate_suite(
+        "cbp4like", target_conditional_branches=length, benchmarks=WORMHOLE_BENCHMARKS_CBP4
+    ) + generate_suite(
+        "cbp3like", target_conditional_branches=length, benchmarks=WORMHOLE_BENCHMARKS_CBP3
+    )
+
+
+def _average(traces, predictor_factory):
+    return average_mpki([simulate(predictor_factory(), trace) for trace in traces])
+
+
+def _sweep():
+    sizes = _PROFILES[bench_profile()]
+    config = TAGEGSCConfig(tage=sizes.tage, corrector=sizes.corrector)
+    traces = _traces()
+    rows = [("no IMLI-OH", _average(traces, lambda: TAGEGSCPredictor(config)))]
+    for prediction_entries, tracked in ((128, 16), (256, 16), (256, 64), (512, 64)):
+        rows.append(
+            (
+                f"IMLI-OH {prediction_entries} entries, {tracked} tracked branches",
+                _average(
+                    traces,
+                    lambda: TAGEGSCPredictor(
+                        config,
+                        extra_sc_components=[
+                            IMLIOuterHistoryComponent(
+                                prediction_entries=prediction_entries,
+                                tracked_branches=tracked,
+                            )
+                        ],
+                    ),
+                ),
+            )
+        )
+    rows.append(
+        (
+            "IMLI (SIC+OH) + IMLI-hashed global tables",
+            _average(
+                traces,
+                lambda: build(
+                    CompositeOptions(
+                        base="tage-gsc", imli_sic=True, imli_oh=True, imli_global_tables=2
+                    ),
+                    profile=bench_profile(),
+                ),
+            ),
+        )
+    )
+    return rows
+
+
+def test_ablation_oh_geometry(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    report = format_table(
+        ["configuration", "average MPKI"],
+        rows,
+        title="Ablation: IMLI-OH geometry (wormhole-correlated benchmarks only)",
+    )
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "ablation-oh-geometry.txt").write_text(report + "\n", encoding="utf-8")
+    print()
+    print(report)
+    baseline = rows[0][1]
+    best = min(mpki for _, mpki in rows[1:])
+    assert best < baseline

@@ -1,0 +1,19 @@
+"""Section 3.2: base predictor accuracy (TAGE-GSC and GEHL).
+
+Paper reference: TAGE-GSC achieves 2.473 / 3.902 MPKI and GEHL 2.864 /
+4.243 MPKI on the CBP4 / CBP3 trace sets.  The synthetic suites are harder
+on average (they intentionally oversample hard branches, see DESIGN.md), so
+absolute values differ; the regenerated table reports the equivalent rows.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import run_and_report
+
+
+def test_base_predictor_accuracy(benchmark, runners):
+    result = run_and_report("base-predictors", runners, benchmark)
+    averages = result.measured["average_mpki"]
+    for suite_values in averages.values():
+        assert suite_values["tage-gsc"] > 0
+        assert suite_values["gehl"] > 0

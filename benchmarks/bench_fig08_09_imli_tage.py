@@ -1,0 +1,32 @@
+"""Figures 8 and 9: IMLI-induced MPKI reduction on TAGE-GSC.
+
+Paper reference: the IMLI components lower TAGE-GSC from 2.473 to 2.313
+MPKI (CBP4, -6.8 %) and from 3.902 to 3.649 MPKI (CBP3, -6.1 %), with the
+benefit concentrated on SPEC2K6-04, SPEC2K6-12, MM-4, CLIENT02, MM07, WS04
+and WS03.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import run_and_report
+
+PAPER_BENEFICIARIES = {"SPEC2K6-04", "SPEC2K6-12", "MM-4", "CLIENT02", "MM07", "WS04", "WS03"}
+
+
+def test_fig8_all_benchmarks(benchmark, runners):
+    result = run_and_report("fig8", runners, benchmark)
+    averages = result.measured["average_mpki"]
+    for suite_values in averages.values():
+        assert suite_values["tage-gsc+imli"] < suite_values["tage-gsc"]
+
+
+def test_fig9_most_benefitting_benchmarks(benchmark, runners):
+    result = run_and_report("fig9", runners, benchmark)
+    grouped = result.measured["per_benchmark_reduction"]
+    top = sorted(
+        grouped, key=lambda name: grouped[name]["imli-sic+oh"], reverse=True
+    )[:5]
+    # The paper's beneficiaries must dominate the top of the figure.
+    present = PAPER_BENEFICIARIES & set(grouped)
+    if present:
+        assert PAPER_BENEFICIARIES & set(top)

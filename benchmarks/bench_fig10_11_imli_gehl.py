@@ -1,0 +1,25 @@
+"""Figures 10 and 11: IMLI-induced MPKI reduction on GEHL.
+
+Paper reference: the IMLI components lower GEHL from 2.864 to 2.694 MPKI
+(CBP4, -6.0 %) and from 4.243 to 3.958 MPKI (CBP3, -6.5 %); the same
+benchmarks benefit as with TAGE-GSC.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import run_and_report
+
+
+def test_fig10_all_benchmarks(benchmark, runners):
+    result = run_and_report("fig10", runners, benchmark)
+    averages = result.measured["average_mpki"]
+    for suite_values in averages.values():
+        assert suite_values["gehl+imli"] < suite_values["gehl"]
+
+
+def test_fig11_most_benefitting_benchmarks(benchmark, runners):
+    result = run_and_report("fig11", runners, benchmark)
+    grouped = result.measured["per_benchmark_reduction"]
+    assert grouped, "per-benchmark reductions must not be empty"
+    best = max(value["imli-sic+oh"] for value in grouped.values())
+    assert best > 0

@@ -1,0 +1,31 @@
+"""Figures 14 and 15: benefit of local-history components with and without IMLI.
+
+Paper reference: adding local history + loop predictor to the IMLI-augmented
+predictors buys less than adding them to the bases (TAGE-GSC: 0.108 -> 0.087
+MPKI on CBP4 and 0.232 -> 0.094 on CBP3; GEHL similar), because the IMLI
+components already capture part of the same correlation.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import run_and_report
+
+
+def _check_local_benefit_shrinks(result):
+    local_benefit = result.measured["local_benefit"]
+    for suite in ("cbp4like", "cbp3like"):
+        without_imli = local_benefit.get(f"local benefit without IMLI ({suite})")
+        with_imli = local_benefit.get(f"local benefit with IMLI ({suite})")
+        if without_imli is None or with_imli is None:
+            continue
+        assert with_imli <= without_imli + 0.1
+
+
+def test_fig14_local_history_on_tage(benchmark, runners):
+    result = run_and_report("fig14", runners, benchmark)
+    _check_local_benefit_shrinks(result)
+
+
+def test_fig15_local_history_on_gehl(benchmark, runners):
+    result = run_and_report("fig15", runners, benchmark)
+    _check_local_benefit_shrinks(result)

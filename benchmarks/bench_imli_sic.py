@@ -1,0 +1,25 @@
+"""Section 4.2.2: the IMLI-SIC component alone.
+
+Paper reference: IMLI-SIC lowers TAGE-GSC from 2.473 to 2.373 MPKI (CBP4)
+and from 3.902 to 3.733 MPKI (CBP3); GEHL behaves similarly.  Once IMLI-SIC
+is present, activating the loop predictor brings almost nothing (0.034 ->
+0.013 MPKI on CBP4, 0.094 -> 0.010 MPKI on CBP3).
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import run_and_report
+
+
+def test_imli_sic_component(benchmark, runners):
+    result = run_and_report("imli-sic", runners, benchmark)
+    averages = result.measured["average_mpki"]
+    for suite_values in averages.values():
+        assert suite_values["tage-gsc+sic"] < suite_values["tage-gsc"]
+        assert suite_values["gehl+sic"] < suite_values["gehl"]
+    loop_benefit = result.measured["loop_benefit"]
+    for suite in ("cbp4like", "cbp3like"):
+        with_sic = loop_benefit.get(f"loop benefit with SIC ({suite})")
+        without_sic = loop_benefit.get(f"loop benefit without SIC ({suite})")
+        if with_sic is not None and without_sic is not None:
+            assert with_sic <= without_sic + 0.2

@@ -1,0 +1,18 @@
+"""Section 5: TAGE-SC-L enhanced with the IMLI components (the "record").
+
+Paper reference: adding the IMLI components to the 256 Kbit TAGE-SC-L (the
+CBP4 winner) lowers its CBP4 misprediction rate from 2.365 to 2.228 MPKI
+(-5.8 %).
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import run_and_report
+
+
+def test_record_tage_sc_l_with_imli(benchmark, runners):
+    result = run_and_report("record", runners, benchmark)
+    for suite_values in result.measured["average_mpki"].values():
+        assert suite_values["tage-sc-l+imli"] <= suite_values["tage-sc-l"] * 1.02
+    reductions = result.measured["reduction_percent"]
+    assert any(value > 0 for value in reductions.values())

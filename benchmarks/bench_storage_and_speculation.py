@@ -1,0 +1,25 @@
+"""Section 4.4: storage budget and speculative-state cost of the IMLI components.
+
+Paper reference: the two IMLI components add 708 bytes of storage (384-byte
+IMLI-SIC table, 128-byte outer-history table, 192-byte IMLI-OH prediction
+table, 4 bytes of PIPE vector + IMLI counter) and their speculative state is
+a 10-bit counter plus a 16-bit PIPE vector per checkpoint -- no associative
+search of the in-flight branch window, unlike local history and WH.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import run_and_report
+
+
+def test_storage_and_speculative_state(benchmark, runners):
+    result = run_and_report("storage-speculation", runners, benchmark)
+    imli_cost = result.measured["imli_cost_bits"]
+    storage = result.measured["storage"]
+    speculation = result.measured["speculation"]
+    # IMLI adds a small fraction of the base predictor's storage.
+    assert imli_cost["total"] / 8 < 0.2 * storage["tage-gsc"] * 128  # Kbits -> bytes
+    # IMLI needs no in-flight window search; local history and WH do.
+    assert speculation["tage-gsc+imli"]["requires_inflight_window_search"] is False
+    assert speculation["tage-gsc+l"]["requires_inflight_window_search"] is True
+    assert speculation["tage-gsc+wh"]["requires_inflight_window_search"] is True

@@ -1,0 +1,24 @@
+"""Table 1: average MPKI for TAGE-GSC-based predictors (base, +L, +I, +I+L).
+
+Paper reference (CBP4 / CBP3): 2.473/3.902, 2.365/3.670, 2.313/3.649,
+2.226/3.555 MPKI at 228 / 256 / 234 / 261 Kbits.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import run_and_report
+
+
+def test_table1_tage_gsc_configurations(benchmark, runners):
+    result = run_and_report("table1", runners, benchmark)
+    storage = result.measured["storage_kbits"]
+    # Storage ordering of Table 1: base < +I < +L < +I+L.
+    assert storage["tage-gsc"] < storage["tage-gsc+imli"] < storage["tage-gsc+l"]
+    assert storage["tage-gsc+imli+l"] > storage["tage-gsc+l"]
+    for suite_values in result.measured["average_mpki"].values():
+        # Every augmented configuration beats the base; the combination wins.
+        assert suite_values["tage-gsc+imli"] < suite_values["tage-gsc"]
+        assert suite_values["tage-gsc+l"] < suite_values["tage-gsc"]
+        assert suite_values["tage-gsc+imli+l"] <= min(
+            suite_values["tage-gsc+imli"], suite_values["tage-gsc+l"]
+        ) + 0.15

@@ -1,0 +1,21 @@
+"""Table 2: average MPKI for GEHL-based predictors (base, +L, +I, +I+L).
+
+Paper reference (CBP4 / CBP3): 2.864/4.243, 2.693/3.924, 2.694/3.958,
+2.562/3.827 MPKI at 204 / 256 / 209 / 261 Kbits.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import run_and_report
+
+
+def test_table2_gehl_configurations(benchmark, runners):
+    result = run_and_report("table2", runners, benchmark)
+    storage = result.measured["storage_kbits"]
+    assert storage["gehl"] < storage["gehl+imli"] < storage["gehl+l"]
+    for suite_values in result.measured["average_mpki"].values():
+        assert suite_values["gehl+imli"] < suite_values["gehl"]
+        assert suite_values["gehl+l"] < suite_values["gehl"]
+        assert suite_values["gehl+imli+l"] <= min(
+            suite_values["gehl+imli"], suite_values["gehl+l"]
+        ) + 0.15

@@ -1,0 +1,43 @@
+"""Simulator throughput: predictions per second for the main configurations.
+
+Not a paper experiment -- this benchmark tracks the speed of the pure-Python
+trace-driven simulator itself so that regressions in the hot prediction path
+are visible in pytest-benchmark's timing output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._harness import bench_profile
+
+from repro.predictors.composites import build_named
+from repro.sim.engine import simulate
+from repro.workloads.suites import generate_benchmark, get_benchmark
+
+CONFIGURATIONS = ["bimodal-baseline", "tage-gsc", "tage-gsc+imli", "gehl+imli"]
+
+
+def _trace():
+    return generate_benchmark(
+        get_benchmark("cbp4like", "SPEC2K6-12"), target_conditional_branches=1500
+    )
+
+
+def _build(configuration):
+    if configuration == "bimodal-baseline":
+        from repro.predictors.simple import BimodalPredictor
+
+        return BimodalPredictor()
+    return build_named(configuration, profile=bench_profile())
+
+
+@pytest.mark.parametrize("configuration", CONFIGURATIONS)
+def test_prediction_throughput(benchmark, configuration):
+    trace = _trace()
+
+    def run_once():
+        return simulate(_build(configuration), trace)
+
+    result = benchmark.pedantic(run_once, rounds=3, iterations=1)
+    assert result.conditional_branches == trace.conditional_count

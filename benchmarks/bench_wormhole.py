@@ -1,0 +1,20 @@
+"""Sections 3.3 and 4.3: the wormhole side predictor on top of TAGE-GSC / GEHL.
+
+Paper reference: WH reduces average MPKI by about 2.2-2.5 %, with the whole
+benefit concentrated on four benchmarks (SPEC2K6-12, MM-4, CLIENT02, MM07);
+WH still adds a little on top of IMLI-SIC.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import run_and_report
+
+
+def test_wormhole_side_predictor(benchmark, runners):
+    result = run_and_report("wormhole", runners, benchmark)
+    averages = result.measured["average_mpki"]
+    for suite_values in averages.values():
+        # WH must not hurt the averages and must help at least one suite.
+        assert suite_values["tage-gsc+wh"] <= suite_values["tage-gsc"] * 1.02
+    improved = result.measured["most_improved"]
+    assert any(delta > 0.5 for delta in improved.values())

@@ -1,0 +1,17 @@
+"""Pytest fixtures for the benchmark harness (see _harness.py for knobs)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.sim.runner import SuiteRunner
+
+from benchmarks._harness import build_runners
+
+
+@pytest.fixture(scope="session")
+def runners() -> Dict[str, SuiteRunner]:
+    """One memoising runner per synthetic suite, shared by every benchmark."""
+    return build_runners()

@@ -1,0 +1,70 @@
+"""Predictor shoot-out: from 2-bit counters to TAGE-GSC + IMLI.
+
+Runs the whole predictor hierarchy implemented by the library over a few
+synthetic benchmarks and prints one MPKI column per predictor, together with
+its storage budget -- a condensed view of thirty years of branch prediction.
+
+Run with::
+
+    python examples/predictor_shootout.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.predictors import (
+    BimodalPredictor,
+    GSharePredictor,
+    PerceptronPredictor,
+    TAGEPredictor,
+    build_named,
+)
+from repro.predictors.tage import TAGEConfig
+from repro.sim import SuiteRunner
+from repro.workloads import generate_suite
+
+BENCHMARKS = ["SPEC2K6-00", "SPEC2K6-04", "SPEC2K6-12", "SERVER-01", "MM-4"]
+
+PREDICTORS = [
+    ("bimodal", lambda: BimodalPredictor(entries=4096)),
+    ("gshare", lambda: GSharePredictor(entries=4096, history_length=12)),
+    ("perceptron", lambda: PerceptronPredictor(entries=256, history_length=24)),
+    ("tage", lambda: TAGEPredictor(TAGEConfig(num_tables=6, table_entries=256,
+                                              base_entries=1024, max_history=80))),
+    ("gehl", lambda: build_named("gehl", profile="small")),
+    ("tage-gsc", lambda: build_named("tage-gsc", profile="small")),
+    ("tage-gsc+imli", lambda: build_named("tage-gsc+imli", profile="small")),
+    ("tage-gsc+imli+l", lambda: build_named("tage-gsc+imli+l", profile="small")),
+]
+
+
+def main() -> None:
+    print(f"Generating {len(BENCHMARKS)} benchmarks ...")
+    traces = generate_suite("cbp4like", target_conditional_branches=3000, benchmarks=BENCHMARKS)
+    runner = SuiteRunner(traces, profile="small")
+
+    columns = []
+    for name, factory in PREDICTORS:
+        print(f"Simulating {name} ...")
+        columns.append((name, runner.run(name, factory=factory)))
+
+    rows = []
+    for benchmark in runner.trace_names():
+        rows.append([benchmark] + [run.result_for(benchmark).mpki for _, run in columns])
+    rows.append(["AVERAGE"] + [run.average_mpki for _, run in columns])
+    rows.append(["storage (Kbits)"] + [round(run.storage_bits / 1024, 1) for _, run in columns])
+
+    print()
+    print(format_table(
+        ["benchmark"] + [name for name, _ in columns],
+        rows,
+        title="Predictor shoot-out (MPKI per benchmark)",
+    ))
+    print()
+    print("Reading guide: every generation narrows the gap, and the IMLI")
+    print("components recover most of what remains on the nested-loop")
+    print("benchmarks (SPEC2K6-04, SPEC2K6-12, MM-4) for a few hundred bytes.")
+
+
+if __name__ == "__main__":
+    main()

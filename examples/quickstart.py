@@ -1,0 +1,56 @@
+"""Quick start: measure the benefit of the IMLI components on one suite.
+
+This is the smallest end-to-end use of the library:
+
+1. generate a synthetic CBP4-like benchmark suite (a subset, to stay fast);
+2. run the TAGE-GSC base predictor and its IMLI-augmented version;
+3. print per-benchmark MPKI and the average reduction.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.sim import SuiteRunner, mpki_reduction_percent
+from repro.workloads import generate_suite
+
+
+def main() -> None:
+    benchmarks = ["SPEC2K6-00", "SPEC2K6-04", "SPEC2K6-12", "MM-4", "SERVER-01"]
+    print(f"Generating {len(benchmarks)} synthetic benchmarks ...")
+    traces = generate_suite(
+        "cbp4like", target_conditional_branches=3000, benchmarks=benchmarks
+    )
+
+    runner = SuiteRunner(traces, profile="small")
+    print("Simulating tage-gsc and tage-gsc+imli ...")
+    base = runner.run("tage-gsc")
+    imli = runner.run("tage-gsc+imli")
+
+    rows = []
+    for name in runner.trace_names():
+        base_mpki = base.result_for(name).mpki
+        imli_mpki = imli.result_for(name).mpki
+        rows.append((name, base_mpki, imli_mpki, base_mpki - imli_mpki))
+    rows.append(("AVERAGE", base.average_mpki, imli.average_mpki,
+                 base.average_mpki - imli.average_mpki))
+
+    print()
+    print(format_table(
+        ["benchmark", "tage-gsc MPKI", "tage-gsc+imli MPKI", "reduction"],
+        rows,
+        title="IMLI components on TAGE-GSC (quick start)",
+    ))
+    print()
+    reduction = mpki_reduction_percent(base.average_mpki, imli.average_mpki)
+    print(f"Average MPKI reduction from the IMLI components: {reduction:.1f} %")
+    print("(the paper reports 6.8 % on the CBP4 traces; the synthetic suite is")
+    print(" harder on average but shows the same concentration of the benefit")
+    print(" on the nested-loop benchmarks)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Speculative-state management: why IMLI is cheap where local history is not.
+
+The hardware argument of the paper (Sections 2.3 and 4.4) is that the IMLI
+components only need a tiny checkpoint per in-flight branch -- the 10-bit
+IMLI counter plus the 16-bit PIPE vector -- whereas local-history components
+(and the wormhole predictor) require an associative search of the window of
+in-flight branches on every fetch cycle.
+
+This example:
+
+1. runs the front-end model of :mod:`repro.sim.checkpointing`, which advances
+   a *speculative* IMLI counter using predicted directions and repairs it
+   from checkpoints on mispredictions, verifying the recovery is exact;
+2. prints the per-fetch bookkeeping cost of every history kind.
+
+Run with::
+
+    python examples/speculative_checkpointing.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_key_values, format_table
+from repro.predictors import build_named
+from repro.sim.checkpointing import run_checkpoint_recovery, speculative_management_cost
+from repro.workloads import generate_benchmark
+from repro.workloads.suites import get_benchmark
+
+
+def main() -> None:
+    trace = generate_benchmark(
+        get_benchmark("cbp4like", "SPEC2K6-04"), target_conditional_branches=4000
+    )
+    predictor = build_named("tage-gsc+imli", profile="small")
+
+    print("Running the speculative fetch model with checkpoint-based recovery ...")
+    report = run_checkpoint_recovery(predictor, trace)
+    print()
+    print(format_key_values(
+        {
+            "trace": report.trace_name,
+            "conditional branches": report.conditional_branches,
+            "mispredictions": report.mispredictions,
+            "checkpoint restores": report.recoveries,
+            "checkpoint size (bits/branch)": report.checkpoint_bits_per_branch,
+            "speculative/committed divergences": report.divergence_events,
+            "recovered exactly": report.recovered_correctly,
+        },
+        title="Checkpoint-based speculative IMLI management",
+    ))
+
+    print()
+    costs = speculative_management_cost(inflight_window=64)
+    rows = [
+        (
+            kind,
+            details["checkpoint_bits"],
+            "yes" if details["associative_search"] else "no",
+            details["comparisons_per_fetch"],
+        )
+        for kind, details in costs.items()
+    ]
+    print(format_table(
+        ["history kind", "checkpoint bits / branch", "in-flight window search", "comparisons / fetch"],
+        rows,
+        title="Per-fetch cost of speculative history management (64-entry window)",
+    ))
+    print()
+    print("The IMLI state costs 26 checkpoint bits per in-flight branch and no")
+    print("associative search -- the same discipline as the global history head")
+    print("pointer -- which is the paper's case for preferring IMLI components")
+    print("over local-history components in real hardware.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""repro: a reproduction of "The Inner Most Loop Iteration counter: a new
+dimension in branch history" (Seznec, San Miguel, Albericio -- MICRO 2015).
+
+The library provides, in pure Python:
+
+* the paper's contribution -- the IMLI counter and the IMLI-SIC / IMLI-OH
+  predictor components (:mod:`repro.core`);
+* every substrate the evaluation depends on -- TAGE, the statistical
+  corrector, TAGE-GSC, GEHL, the loop predictor, local-history components
+  and the wormhole predictor (:mod:`repro.predictors`);
+* a trace-driven simulation framework with MPKI metrics, storage accounting
+  and speculative-state modelling (:mod:`repro.sim`);
+* synthetic CBP-like benchmark suites standing in for the championship
+  traces (:mod:`repro.workloads`, see DESIGN.md for the substitution
+  rationale);
+* the reproduced tables and figures of the evaluation section
+  (:mod:`repro.analysis`).
+
+Quick start::
+
+    from repro.workloads import generate_suite
+    from repro.sim import SuiteRunner
+
+    traces = generate_suite("cbp4like", target_conditional_branches=5000)
+    runner = SuiteRunner(traces, profile="small")
+    base = runner.run("tage-gsc")
+    imli = runner.run("tage-gsc+imli")
+    print(base.average_mpki, imli.average_mpki)
+"""
+
+from repro.core import (
+    IMLIOuterHistoryComponent,
+    IMLISameIterationComponent,
+    IMLIState,
+    SpeculativeIMLITracker,
+)
+from repro.predictors import (
+    BranchPredictor,
+    GEHLPredictor,
+    TAGEGSCPredictor,
+    TAGEPredictor,
+    build_named,
+    configuration_names,
+)
+from repro.sim import SimulationResult, SuiteRunner, simulate
+from repro.trace import BranchKind, BranchRecord, Trace
+from repro.workloads import generate_benchmark, generate_suite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BranchKind",
+    "BranchPredictor",
+    "BranchRecord",
+    "GEHLPredictor",
+    "IMLIOuterHistoryComponent",
+    "IMLISameIterationComponent",
+    "IMLIState",
+    "SimulationResult",
+    "SpeculativeIMLITracker",
+    "SuiteRunner",
+    "TAGEGSCPredictor",
+    "TAGEPredictor",
+    "Trace",
+    "__version__",
+    "build_named",
+    "configuration_names",
+    "generate_benchmark",
+    "generate_suite",
+    "simulate",
+]

@@ -1,0 +1,100 @@
+"""Plain-text figure rendering (per-benchmark bar charts).
+
+The per-benchmark figures of the paper (Figures 8-11 and 13-15) are bar
+charts of MPKI reduction or absolute MPKI per benchmark.  These helpers
+render the same data as horizontal ASCII bar charts so the benchmark
+harness can regenerate every figure in a terminal and EXPERIMENTS.md can
+embed them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+__all__ = ["format_bar_chart", "format_grouped_bar_chart"]
+
+_BAR_WIDTH = 40
+
+
+def _bar(value: float, maximum: float, width: int = _BAR_WIDTH) -> str:
+    if maximum <= 0:
+        return ""
+    length = int(round(width * min(abs(value), maximum) / maximum))
+    char = "#" if value >= 0 else "-"
+    return char * length
+
+
+def format_bar_chart(
+    values: Mapping[str, float],
+    title: str | None = None,
+    value_label: str = "value",
+    sort_descending: bool = False,
+    limit: int | None = None,
+) -> str:
+    """Render one horizontal bar per key.
+
+    Negative values are rendered with ``-`` bars (an MPKI *increase* in the
+    reduction figures).
+    """
+    items = list(values.items())
+    if sort_descending:
+        items.sort(key=lambda item: item[1], reverse=True)
+    if limit is not None:
+        items = items[:limit]
+    if not items:
+        return title or ""
+    maximum = max(abs(value) for _, value in items) or 1.0
+    name_width = max(len(name) for name, _ in items)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(f"{'benchmark'.ljust(name_width)}  {value_label}")
+    for name, value in items:
+        lines.append(
+            f"{name.ljust(name_width)}  {value:+7.3f}  {_bar(value, maximum)}"
+        )
+    return "\n".join(lines)
+
+
+def format_grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    series_order: Sequence[str],
+    title: str | None = None,
+    limit: int | None = None,
+) -> str:
+    """Render several series per benchmark (one sub-bar per series).
+
+    ``groups`` maps benchmark name to ``{series_name: value}``; benchmarks
+    are ordered by the largest absolute value across series (matching the
+    "most benefitting / most affected" ordering used by the paper's
+    figures).
+    """
+    ordered = sorted(
+        groups.items(),
+        key=lambda item: max((abs(value) for value in item[1].values()), default=0.0),
+        reverse=True,
+    )
+    if limit is not None:
+        ordered = ordered[:limit]
+    if not ordered:
+        return title or ""
+    maximum = max(
+        (abs(value) for _, series in ordered for value in series.values()), default=1.0
+    ) or 1.0
+    name_width = max(len(name) for name, _ in ordered)
+    series_width = max(len(name) for name in series_order)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for name, series in ordered:
+        for position, series_name in enumerate(series_order):
+            value = series.get(series_name, 0.0)
+            label = name if position == 0 else ""
+            lines.append(
+                f"{label.ljust(name_width)}  {series_name.ljust(series_width)}  "
+                f"{value:+7.3f}  {_bar(value, maximum)}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()

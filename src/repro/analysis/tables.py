@@ -1,0 +1,101 @@
+"""Plain-text table formatting for experiment reports.
+
+The benchmark harness regenerates the paper's tables and figures as text;
+these helpers render aligned tables similar in layout to Tables 1 and 2 of
+the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+__all__ = ["format_table", "format_mpki_table", "format_key_values"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render ``rows`` as an aligned plain-text table.
+
+    Floats are formatted with ``float_format``; every other value is
+    rendered with ``str``.
+    """
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered_rows.append(
+            [
+                float_format.format(value) if isinstance(value, float) else str(value)
+                for value in row
+            ]
+        )
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {len(headers)} columns"
+            )
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[column]) for column, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_line(list(headers)))
+    lines.append(render_line(["-" * width for width in widths]))
+    lines.extend(render_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_mpki_table(
+    configurations: Sequence[str],
+    suite_mpki: Mapping[str, Mapping[str, float]],
+    storage_kbits: Mapping[str, float] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render the Table-1/Table-2 layout: one column per configuration.
+
+    Parameters
+    ----------
+    configurations:
+        Column order (e.g. ``["tage-gsc", "tage-gsc+l", ...]``).
+    suite_mpki:
+        ``{suite_name: {configuration: average_mpki}}``.
+    storage_kbits:
+        Optional ``{configuration: Kbits}`` row.
+    title:
+        Optional table title.
+    """
+    headers = [""] + list(configurations)
+    rows: List[List[object]] = []
+    if storage_kbits is not None:
+        rows.append(
+            ["size (Kbits)"]
+            + [round(storage_kbits[configuration], 1) for configuration in configurations]
+        )
+    for suite_name, per_configuration in suite_mpki.items():
+        rows.append(
+            [suite_name] + [per_configuration[configuration] for configuration in configurations]
+        )
+    return format_table(headers, rows, title=title)
+
+
+def format_key_values(pairs: Mapping[str, object], title: str | None = None) -> str:
+    """Render a mapping as an aligned ``key: value`` block."""
+    if not pairs:
+        return title or ""
+    width = max(len(str(key)) for key in pairs)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    for key, value in pairs.items():
+        rendered = f"{value:.4f}" if isinstance(value, float) else str(value)
+        lines.append(f"{str(key).ljust(width)} : {rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,175 @@
+"""Command-line interface.
+
+The CLI exposes the library's main workflows without writing any Python:
+
+``python -m repro list``
+    Show the available suites, benchmarks, predictor configurations and
+    registered experiments.
+``python -m repro simulate``
+    Run predictor configurations over (a subset of) a synthetic suite and
+    print the per-benchmark MPKI table.
+``python -m repro experiment <id>``
+    Regenerate one of the paper's tables/figures (same registry as the
+    benchmark harness).
+``python -m repro trace``
+    Generate one synthetic benchmark trace and write it to a file in the
+    library's text format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.experiments import experiment_ids, run_experiment
+from repro.analysis.tables import format_table
+from repro.predictors.composites import configuration_names
+from repro.sim.runner import SuiteRunner
+from repro.trace.trace import save_trace
+from repro.workloads.suites import (
+    benchmark_names,
+    generate_benchmark,
+    generate_suite,
+    get_benchmark,
+    suite_names,
+)
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the IMLI branch predictor paper (MICRO 2015).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list suites, benchmarks, configurations, experiments")
+
+    simulate = subparsers.add_parser(
+        "simulate", help="run predictor configurations over a synthetic suite"
+    )
+    simulate.add_argument("--suite", default="cbp4like", choices=suite_names())
+    simulate.add_argument(
+        "--benchmarks", default=None,
+        help="comma-separated benchmark names (default: the whole suite)",
+    )
+    simulate.add_argument(
+        "--configurations", default="tage-gsc,tage-gsc+imli",
+        help="comma-separated configuration names",
+    )
+    simulate.add_argument("--length", type=int, default=2500,
+                          help="conditional branches per benchmark trace")
+    simulate.add_argument("--profile", default="small", choices=("small", "default"))
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate one of the paper's tables or figures"
+    )
+    experiment.add_argument("experiment_id", choices=experiment_ids())
+    experiment.add_argument("--length", type=int, default=2500)
+    experiment.add_argument("--profile", default="small", choices=("small", "default"))
+    experiment.add_argument(
+        "--benchmarks", default=None,
+        help="comma-separated benchmark names to restrict both suites to",
+    )
+
+    trace = subparsers.add_parser("trace", help="generate one benchmark trace to a file")
+    trace.add_argument("--suite", default="cbp4like", choices=suite_names())
+    trace.add_argument("--benchmark", required=True)
+    trace.add_argument("--length", type=int, default=20000)
+    trace.add_argument("--output", required=True, help="output path (text trace format)")
+
+    return parser
+
+
+def _split(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    names = [name.strip() for name in raw.split(",") if name.strip()]
+    return names or None
+
+
+def _command_list() -> int:
+    print("suites:")
+    for suite in suite_names():
+        print(f"  {suite}: {', '.join(benchmark_names(suite))}")
+    print()
+    print("predictor configurations:")
+    print("  " + ", ".join(configuration_names()))
+    print()
+    print("experiments (paper tables/figures):")
+    print("  " + ", ".join(experiment_ids()))
+    return 0
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    configurations = _split(args.configurations) or []
+    if not configurations:
+        print("no configurations selected", file=sys.stderr)
+        return 2
+    traces = generate_suite(
+        args.suite,
+        target_conditional_branches=args.length,
+        benchmarks=_split(args.benchmarks),
+    )
+    if not traces:
+        print("no benchmarks selected", file=sys.stderr)
+        return 2
+    runner = SuiteRunner(traces, profile=args.profile)
+    runs = runner.run_many(configurations)
+    rows = []
+    for name in runner.trace_names():
+        rows.append([name] + [runs[c].result_for(name).mpki for c in configurations])
+    rows.append(["AVERAGE"] + [runs[c].average_mpki for c in configurations])
+    print(format_table(
+        ["benchmark"] + list(configurations),
+        rows,
+        title=f"MPKI on {args.suite} ({args.length} conditional branches per benchmark)",
+    ))
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    subset = _split(args.benchmarks)
+    runners = {}
+    for suite in suite_names():
+        traces = generate_suite(
+            suite, target_conditional_branches=args.length, benchmarks=subset
+        )
+        if traces:
+            runners[suite] = SuiteRunner(traces, profile=args.profile)
+    if not runners:
+        print("no benchmarks selected", file=sys.stderr)
+        return 2
+    result = run_experiment(args.experiment_id, runners)
+    print(result.report())
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    try:
+        spec = get_benchmark(args.suite, args.benchmark)
+    except KeyError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    trace = generate_benchmark(spec, target_conditional_branches=args.length)
+    save_trace(trace, args.output)
+    print(f"wrote {len(trace)} branch records ({trace.conditional_count} conditional) "
+          f"to {args.output}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "simulate":
+        return _command_simulate(args)
+    if args.command == "experiment":
+        return _command_experiment(args)
+    if args.command == "trace":
+        return _command_trace(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

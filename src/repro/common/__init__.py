@@ -1,0 +1,49 @@
+"""Shared low-level building blocks for branch predictors.
+
+This package provides the small hardware-like primitives that every
+predictor in :mod:`repro.predictors` and :mod:`repro.core` is built from:
+
+* :mod:`repro.common.counters` -- saturating up/down counters (signed and
+  unsigned) and packed counter arrays.
+* :mod:`repro.common.bits` -- bit manipulation helpers: masking, folding,
+  hashing of program counters and histories.
+* :mod:`repro.common.history` -- global branch/path history registers,
+  incrementally folded histories (as used by TAGE/GEHL index functions) and
+  local history tables.
+"""
+
+from repro.common.bits import (
+    fold_bits,
+    hash_pc,
+    mask,
+    mix_hash,
+    rotate_left,
+)
+from repro.common.counters import (
+    SaturatingCounter,
+    SignedCounterArray,
+    SignedSaturatingCounter,
+    UnsignedCounterArray,
+)
+from repro.common.history import (
+    FoldedHistory,
+    GlobalHistory,
+    LocalHistoryTable,
+    PathHistory,
+)
+
+__all__ = [
+    "FoldedHistory",
+    "GlobalHistory",
+    "LocalHistoryTable",
+    "PathHistory",
+    "SaturatingCounter",
+    "SignedCounterArray",
+    "SignedSaturatingCounter",
+    "UnsignedCounterArray",
+    "fold_bits",
+    "hash_pc",
+    "mask",
+    "mix_hash",
+    "rotate_left",
+]

@@ -1,0 +1,238 @@
+"""Saturating counters and counter arrays.
+
+Branch predictors store their state almost exclusively in small saturating
+counters.  Two flavours are used throughout the literature and in this
+library:
+
+* *Unsigned* counters in ``[0, 2**bits - 1]`` whose most significant bit is
+  the prediction (bimodal tables, TAGE prediction counters, loop-predictor
+  confidence counters).
+* *Signed* counters in ``[-2**(bits-1), 2**(bits-1) - 1]`` whose sign is the
+  prediction and whose magnitude is the confidence (perceptron weights,
+  GEHL / statistical-corrector tables, IMLI-SIC and IMLI-OH tables).
+
+The array classes store plain Python integers in a list; this is the fastest
+portable representation for the per-branch work a trace-driven simulator
+performs (NumPy element-wise access is slower for scalar updates).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+__all__ = [
+    "SaturatingCounter",
+    "SignedSaturatingCounter",
+    "UnsignedCounterArray",
+    "SignedCounterArray",
+]
+
+
+class SaturatingCounter:
+    """An unsigned saturating counter.
+
+    The counter saturates at ``0`` and ``2**bits - 1``.  The prediction it
+    encodes is the most significant bit (``value >= midpoint``).
+    """
+
+    __slots__ = ("bits", "maximum", "value")
+
+    def __init__(self, bits: int, initial: int | None = None) -> None:
+        if bits <= 0:
+            raise ValueError(f"counter width must be positive, got {bits}")
+        self.bits = bits
+        self.maximum = (1 << bits) - 1
+        midpoint = 1 << (bits - 1)
+        value = midpoint if initial is None else initial
+        if not 0 <= value <= self.maximum:
+            raise ValueError(f"initial value {value} outside [0, {self.maximum}]")
+        self.value = value
+
+    @property
+    def midpoint(self) -> int:
+        """The weakly-taken threshold (``2**(bits-1)``)."""
+        return 1 << (self.bits - 1)
+
+    def predict(self) -> bool:
+        """Return the taken/not-taken prediction encoded by the counter."""
+        return self.value >= self.midpoint
+
+    def is_saturated(self) -> bool:
+        """Return ``True`` when the counter is at either rail."""
+        return self.value == 0 or self.value == self.maximum
+
+    def update(self, taken: bool) -> None:
+        """Move the counter one step toward the observed outcome."""
+        if taken:
+            if self.value < self.maximum:
+                self.value += 1
+        elif self.value > 0:
+            self.value -= 1
+
+    def reset(self, value: int | None = None) -> None:
+        """Reset the counter to ``value`` (default: weakly not-taken midpoint)."""
+        self.value = self.midpoint if value is None else value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SaturatingCounter(bits={self.bits}, value={self.value})"
+
+
+class SignedSaturatingCounter:
+    """A signed saturating counter in ``[-2**(bits-1), 2**(bits-1) - 1]``."""
+
+    __slots__ = ("bits", "minimum", "maximum", "value")
+
+    def __init__(self, bits: int, initial: int = 0) -> None:
+        if bits <= 0:
+            raise ValueError(f"counter width must be positive, got {bits}")
+        self.bits = bits
+        self.minimum = -(1 << (bits - 1))
+        self.maximum = (1 << (bits - 1)) - 1
+        if not self.minimum <= initial <= self.maximum:
+            raise ValueError(
+                f"initial value {initial} outside [{self.minimum}, {self.maximum}]"
+            )
+        self.value = initial
+
+    def predict(self) -> bool:
+        """Return ``True`` (taken) when the counter is non-negative."""
+        return self.value >= 0
+
+    def is_saturated(self) -> bool:
+        """Return ``True`` when the counter is at either rail."""
+        return self.value == self.minimum or self.value == self.maximum
+
+    def update(self, taken: bool) -> None:
+        """Move the counter one step toward the observed outcome."""
+        if taken:
+            if self.value < self.maximum:
+                self.value += 1
+        elif self.value > self.minimum:
+            self.value -= 1
+
+    def reset(self, value: int = 0) -> None:
+        """Reset the counter to ``value``."""
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SignedSaturatingCounter(bits={self.bits}, value={self.value})"
+
+
+class UnsignedCounterArray:
+    """A fixed-size array of unsigned saturating counters.
+
+    The counters are stored as plain integers; update logic is inlined here
+    rather than delegating to :class:`SaturatingCounter` to keep the hot
+    per-branch path fast.
+    """
+
+    __slots__ = ("bits", "maximum", "midpoint", "values")
+
+    def __init__(self, size: int, bits: int, initial: int | None = None) -> None:
+        if size <= 0:
+            raise ValueError(f"array size must be positive, got {size}")
+        if bits <= 0:
+            raise ValueError(f"counter width must be positive, got {bits}")
+        self.bits = bits
+        self.maximum = (1 << bits) - 1
+        self.midpoint = 1 << (bits - 1)
+        fill = self.midpoint if initial is None else initial
+        if not 0 <= fill <= self.maximum:
+            raise ValueError(f"initial value {fill} outside [0, {self.maximum}]")
+        self.values: List[int] = [fill] * size
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.values)
+
+    def __getitem__(self, index: int) -> int:
+        return self.values[index]
+
+    def predict(self, index: int) -> bool:
+        """Prediction stored at ``index`` (most significant bit)."""
+        return self.values[index] >= self.midpoint
+
+    def confidence(self, index: int) -> int:
+        """Distance of the counter from the decision threshold."""
+        value = self.values[index]
+        if value >= self.midpoint:
+            return value - self.midpoint
+        return self.midpoint - 1 - value
+
+    def update(self, index: int, taken: bool) -> None:
+        """Move the counter at ``index`` one step toward ``taken``."""
+        value = self.values[index]
+        if taken:
+            if value < self.maximum:
+                self.values[index] = value + 1
+        elif value > 0:
+            self.values[index] = value - 1
+
+    def set(self, index: int, value: int) -> None:
+        """Directly set the counter at ``index`` (clamped to the legal range)."""
+        self.values[index] = min(max(value, 0), self.maximum)
+
+    def reset(self, value: int | None = None) -> None:
+        """Reset every counter to ``value`` (default: midpoint)."""
+        fill = self.midpoint if value is None else value
+        self.values = [fill] * len(self.values)
+
+    def storage_bits(self) -> int:
+        """Total number of storage bits this array models."""
+        return len(self.values) * self.bits
+
+
+class SignedCounterArray:
+    """A fixed-size array of signed saturating counters."""
+
+    __slots__ = ("bits", "minimum", "maximum", "values")
+
+    def __init__(self, size: int, bits: int, initial: int = 0) -> None:
+        if size <= 0:
+            raise ValueError(f"array size must be positive, got {size}")
+        if bits <= 0:
+            raise ValueError(f"counter width must be positive, got {bits}")
+        self.bits = bits
+        self.minimum = -(1 << (bits - 1))
+        self.maximum = (1 << (bits - 1)) - 1
+        if not self.minimum <= initial <= self.maximum:
+            raise ValueError(
+                f"initial value {initial} outside [{self.minimum}, {self.maximum}]"
+            )
+        self.values: List[int] = [initial] * size
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.values)
+
+    def __getitem__(self, index: int) -> int:
+        return self.values[index]
+
+    def predict(self, index: int) -> bool:
+        """Prediction stored at ``index`` (sign bit)."""
+        return self.values[index] >= 0
+
+    def update(self, index: int, taken: bool) -> None:
+        """Move the counter at ``index`` one step toward ``taken``."""
+        value = self.values[index]
+        if taken:
+            if value < self.maximum:
+                self.values[index] = value + 1
+        elif value > self.minimum:
+            self.values[index] = value - 1
+
+    def set(self, index: int, value: int) -> None:
+        """Directly set the counter at ``index`` (clamped to the legal range)."""
+        self.values[index] = min(max(value, self.minimum), self.maximum)
+
+    def reset(self, value: int = 0) -> None:
+        """Reset every counter to ``value``."""
+        self.values = [value] * len(self.values)
+
+    def storage_bits(self) -> int:
+        """Total number of storage bits this array models."""
+        return len(self.values) * self.bits

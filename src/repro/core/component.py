@@ -1,0 +1,165 @@
+"""Neural predictor component interface and shared fetch state.
+
+Both base predictors used in the paper -- the GEHL predictor and the
+statistical corrector of TAGE-GSC -- are *adder trees*: they sum small
+signed counters read from several tables and predict the sign of the sum.
+The IMLI-SIC and IMLI-OH contributions of the paper are simply two more
+tables feeding that sum, which is why they can be dropped into either
+predictor family (Figures 5 and 6).
+
+This module defines the plumbing that makes that composition possible:
+
+* :class:`SharedState` -- the per-predictor fetch-time state every component
+  may read: global branch history, global path history, per-table folded
+  histories, the IMLI counter, an optional local history table and the TAGE
+  prediction (for statistical-corrector bias tables).
+* :class:`NeuralComponent` -- the interface of one adder-tree input: select
+  counters at prediction time, train them at update time, and perform any
+  private bookkeeping once the outcome is known.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Tuple
+
+from repro.common.counters import SignedCounterArray
+from repro.common.history import FoldedHistory, GlobalHistory, LocalHistoryTable, PathHistory
+from repro.core.imli import IMLIState
+from repro.trace.branch import BranchRecord
+
+__all__ = ["CounterSelection", "NeuralComponent", "SharedState"]
+
+#: A reference to one selected counter: (table, index).
+CounterSelection = Tuple[SignedCounterArray, int]
+
+
+class SharedState:
+    """Fetch-time state shared by all components of one predictor.
+
+    The owning predictor creates a single :class:`SharedState`, hands it to
+    every component, and calls :meth:`update_conditional` /
+    :meth:`update_unconditional` exactly once per dynamic branch *after*
+    the components have been trained for that branch.
+
+    Components that use folded global history must register their
+    :class:`~repro.common.history.FoldedHistory` registers through
+    :meth:`new_folded_history` so the shared state can keep them coherent
+    with the global history register.
+    """
+
+    def __init__(
+        self,
+        history_capacity: int = 1024,
+        path_capacity: int = 32,
+        path_bits_per_branch: int = 2,
+        imli_counter_bits: int = 10,
+        local_history_table: Optional[LocalHistoryTable] = None,
+    ) -> None:
+        self.global_history = GlobalHistory(history_capacity)
+        self.path_history = PathHistory(path_capacity, path_bits_per_branch)
+        self.imli = IMLIState(imli_counter_bits)
+        self.local_histories = local_history_table
+        self.tage_prediction: Optional[bool] = None
+        self._folded: List[FoldedHistory] = []
+
+    def new_folded_history(self, length: int, width: int) -> FoldedHistory:
+        """Create and register a folded view of the global history."""
+        folded = FoldedHistory(length, width)
+        self._folded.append(folded)
+        return folded
+
+    def update_conditional(self, record: BranchRecord) -> None:
+        """Advance all shared histories with a resolved conditional branch."""
+        new_bit = int(record.taken)
+        # Folded histories must observe the dropped bit *before* the global
+        # history register shifts.
+        for folded in self._folded:
+            if folded.length == 0:
+                continue
+            dropped = self.global_history.bit(folded.length - 1)
+            folded.update(new_bit, dropped)
+        self.global_history.push(record.taken)
+        self.path_history.push(record.pc)
+        self.imli.update(record)
+        if self.local_histories is not None:
+            self.local_histories.update(record.pc, record.taken)
+
+    def update_unconditional(self, record: BranchRecord) -> None:
+        """Advance the path history with a non-conditional branch."""
+        self.path_history.push(record.pc)
+
+    def storage_bits(self) -> int:
+        """State bits held by the shared registers (histories + IMLI)."""
+        bits = self.global_history.capacity
+        bits += self.path_history.capacity
+        bits += self.imli.storage_bits()
+        if self.local_histories is not None:
+            bits += self.local_histories.storage_bits()
+        return bits
+
+    def checkpoint_bits(self) -> int:
+        """Bits a misprediction-recovery checkpoint of this state needs.
+
+        Global and path history only need their head pointers checkpointed
+        (the registers themselves are circular buffers); the IMLI counter is
+        checkpointed in full.  Local histories are *not* checkpointable this
+        way -- they require an associative in-flight window search -- which
+        is the paper's argument against them (Section 2.3.2).
+        """
+        global_pointer_bits = max(self.global_history.capacity.bit_length(), 1)
+        path_pointer_bits = max(self.path_history.capacity.bit_length(), 1)
+        return global_pointer_bits + path_pointer_bits + self.imli.storage_bits()
+
+
+class NeuralComponent(ABC):
+    """One input of an adder-tree (neural) predictor.
+
+    Subclasses provide prediction-table counters selected from the branch PC
+    and the :class:`SharedState`.  The owning predictor sums the selected
+    counters (together with those of every other component), predicts the
+    sign of the sum and trains the selected counters with the standard
+    GEHL/statistical-corrector threshold rule.
+    """
+
+    #: Human-readable component name used in storage breakdowns.
+    name: str = "component"
+
+    @abstractmethod
+    def select(self, pc: int, state: SharedState) -> List[CounterSelection]:
+        """Return the counters this component contributes for branch ``pc``."""
+
+    def train(
+        self,
+        pc: int,
+        taken: bool,
+        selections: List[CounterSelection],
+        state: SharedState,
+    ) -> None:
+        """Train the counters selected at prediction time.
+
+        The default moves every selected counter one step toward the
+        outcome; components with bespoke training override this.
+        """
+        for table, index in selections:
+            table.update(index, taken)
+
+    def on_outcome(self, record: BranchRecord, state: SharedState) -> None:
+        """Bookkeeping hook invoked once per conditional branch outcome.
+
+        Called after :meth:`train` and before the shared histories advance.
+        Components that maintain private structures (for example the IMLI
+        outer-history table) override this.
+        """
+
+    @abstractmethod
+    def storage_bits(self) -> int:
+        """Number of storage bits the component's tables model."""
+
+    def speculative_state_bits(self) -> int:
+        """Bits of component state that must be checkpointed per branch.
+
+        Zero for purely table-based components; the IMLI-OH component
+        reports its PIPE vector here (Section 4.3.2 of the paper).
+        """
+        return 0

@@ -1,0 +1,182 @@
+"""The IMLI-OH (Outer History) predictor component.
+
+Section 4.3 of the paper: for a branch B in the inner loop of a
+two-dimensional loop nest, the outcome ``Out[N][M]`` is sometimes
+correlated with the outcomes of the *same branch* in neighbouring inner
+iterations of the *previous outer iteration*, ``Out[N-1][M]`` and
+``Out[N-1][M-1]`` -- the correlation targeted by the wormhole predictor.
+
+IMLI-OH recovers those two outcomes with two small structures:
+
+* The **IMLI history table** (1 Kbit in the paper): outcome of branch B is
+  stored at address ``(B * 64) + IMLIcount``, i.e. the table holds, per
+  tracked branch, one outcome per inner-loop iteration number.  When
+  predicting ``Out[N][M]``, the entry at ``(B, M)`` still holds
+  ``Out[N-1][M]`` because the current outer iteration has not reached it
+  yet.
+* The **PIPE vector** (Previous Inner iteration in Previous External
+  iteration, 16 bits): before the entry at ``(B, M)`` is overwritten with
+  the new outcome, its old value is staged into ``PIPE[B]`` so that on the
+  *next* inner iteration it still provides ``Out[N-1][M-1]`` even though the
+  history table entry was already overwritten.
+
+The IMLI-OH prediction table (256 entries in the paper) is indexed with the
+PC hashed with the two recovered outcome bits and feeds the same adder tree
+as IMLI-SIC.
+
+Speculative state: only the 16-bit PIPE vector (plus the IMLI counter
+handled by the owning predictor) needs checkpointing.  Precise speculative
+management of the history table is not required; the paper validates this
+with a delayed-update experiment which :class:`IMLIOuterHistoryComponent`
+reproduces through its ``update_delay`` parameter.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Tuple
+
+from repro.common.bits import hash_pc, log2_exact, mix_hash
+from repro.common.counters import SignedCounterArray
+from repro.core.component import CounterSelection, NeuralComponent, SharedState
+from repro.trace.branch import BranchRecord
+
+__all__ = ["IMLIOuterHistoryComponent"]
+
+
+class IMLIOuterHistoryComponent(NeuralComponent):
+    """IMLI outer-history tracking plus its prediction table.
+
+    Parameters
+    ----------
+    prediction_entries:
+        Entries of the IMLI-OH prediction table (256 in the paper).
+    counter_bits:
+        Width of the signed prediction counters (6 in the paper).
+    tracked_branches:
+        Number of distinct branch slots in the IMLI history table (16 in
+        the paper -- the PIPE vector has one bit per slot).
+    iterations_per_branch:
+        Inner-loop iteration numbers tracked per branch slot (64 in the
+        paper; ``tracked_branches * iterations_per_branch`` is the history
+        table size in bits, 1 Kbit in the paper).
+    update_delay:
+        Number of subsequent conditional branches after which a branch's
+        write into the IMLI history table becomes visible.  ``0`` models
+        immediate update; the paper's experiment uses 63 to model a very
+        large instruction window (Section 4.3.2).
+    """
+
+    name = "imli-oh"
+
+    def __init__(
+        self,
+        prediction_entries: int = 256,
+        counter_bits: int = 6,
+        tracked_branches: int = 16,
+        iterations_per_branch: int = 64,
+        update_delay: int = 0,
+    ) -> None:
+        if update_delay < 0:
+            raise ValueError(f"update delay must be non-negative, got {update_delay}")
+        self.prediction_index_bits = log2_exact(prediction_entries)
+        self.branch_index_bits = log2_exact(tracked_branches)
+        self.iterations_per_branch = iterations_per_branch
+        self.tracked_branches = tracked_branches
+        self.table = SignedCounterArray(prediction_entries, counter_bits)
+        # One outcome bit per (branch slot, inner iteration number).
+        self.history = [0] * (tracked_branches * iterations_per_branch)
+        # PIPE vector: one staged bit per branch slot.
+        self.pipe = [0] * tracked_branches
+        self.update_delay = update_delay
+        # Pending history-table writes: (cell, outcome, due_tick).  The PIPE
+        # vector is always updated immediately -- it is speculative,
+        # checkpointed state, not a commit-time table (Section 4.3.2).
+        self._pending: Deque[Tuple[int, int, int]] = deque()
+        self._tick = 0
+
+    # ------------------------------------------------------------------ #
+    # Outer-history recovery
+    # ------------------------------------------------------------------ #
+
+    def _slot(self, pc: int) -> int:
+        return hash_pc(pc, self.branch_index_bits)
+
+    def _cell(self, slot: int, imli_count: int) -> int:
+        return slot * self.iterations_per_branch + (imli_count % self.iterations_per_branch)
+
+    def recovered_outcomes(self, pc: int, imli_count: int) -> Tuple[int, int]:
+        """Return ``(Out[N-1][M], Out[N-1][M-1])`` for branch ``pc``.
+
+        ``Out[N-1][M]`` comes from the IMLI history table, ``Out[N-1][M-1]``
+        from the PIPE vector (see the module docstring for why).
+        """
+        slot = self._slot(pc)
+        previous_outer_same = self.history[self._cell(slot, imli_count)]
+        previous_outer_previous = self.pipe[slot]
+        return previous_outer_same, previous_outer_previous
+
+    # ------------------------------------------------------------------ #
+    # NeuralComponent interface
+    # ------------------------------------------------------------------ #
+
+    def select(self, pc: int, state: SharedState) -> List[CounterSelection]:
+        same, previous = self.recovered_outcomes(pc, state.imli.count)
+        index = mix_hash(pc, same, 2 * previous, width=self.prediction_index_bits)
+        return [(self.table, index)]
+
+    def on_outcome(self, record: BranchRecord, state: SharedState) -> None:
+        """Record the resolved outcome in the outer-history structures.
+
+        Backward conditional branches (loop back-edges) are not recorded:
+        their outcomes are almost always "taken", they are already covered
+        by the loop predictor / IMLI-SIC, and recording them would only
+        pollute the rows of the loop-body branches IMLI-OH targets.
+        """
+        self._tick += 1
+        self._drain_pending()
+        if record.is_backward:
+            return
+        slot = self._slot(record.pc)
+        cell = self._cell(slot, state.imli.count)
+        outcome = int(record.taken)
+        # Stage the previous-outer-iteration outcome into the PIPE vector
+        # before the cell is overwritten with the current outcome.  This is
+        # the speculative, checkpointed part of the state and is never
+        # delayed.
+        self.pipe[slot] = self.history[cell]
+        if self.update_delay == 0:
+            self.history[cell] = outcome
+        else:
+            self._pending.append((cell, outcome, self._tick + self.update_delay))
+
+    def _drain_pending(self) -> None:
+        while self._pending and self._pending[0][2] <= self._tick:
+            cell, outcome, _ = self._pending.popleft()
+            self.history[cell] = outcome
+
+    def storage_bits(self) -> int:
+        prediction_bits = self.table.storage_bits()
+        history_bits = len(self.history)
+        pipe_bits = len(self.pipe)
+        return prediction_bits + history_bits + pipe_bits
+
+    def speculative_state_bits(self) -> int:
+        """The PIPE vector is the only per-checkpoint state (16 bits)."""
+        return len(self.pipe)
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing helpers used by repro.core.speculative
+    # ------------------------------------------------------------------ #
+
+    def snapshot_pipe(self) -> Tuple[int, ...]:
+        """Return a copy of the PIPE vector for checkpointing."""
+        return tuple(self.pipe)
+
+    def restore_pipe(self, snapshot: Tuple[int, ...]) -> None:
+        """Restore a PIPE vector saved by :meth:`snapshot_pipe`."""
+        if len(snapshot) != len(self.pipe):
+            raise ValueError(
+                f"PIPE snapshot has {len(snapshot)} bits, expected {len(self.pipe)}"
+            )
+        self.pipe = list(snapshot)

@@ -1,0 +1,88 @@
+"""Branch predictors.
+
+The package is organised bottom-up:
+
+* :mod:`repro.predictors.base` -- the :class:`BranchPredictor` interface.
+* :mod:`repro.predictors.simple` -- static, bimodal, gshare and perceptron
+  baselines.
+* :mod:`repro.predictors.adder` and :mod:`repro.predictors.components` --
+  the adder-tree machinery shared by GEHL and the statistical corrector.
+* :mod:`repro.predictors.gehl`, :mod:`repro.predictors.tage`,
+  :mod:`repro.predictors.statistical_corrector`,
+  :mod:`repro.predictors.tage_gsc` -- the two base predictor families of the
+  paper.
+* :mod:`repro.predictors.loop`, :mod:`repro.predictors.wormhole` -- the side
+  predictors (loop exit predictor and the prior-art wormhole predictor).
+* :mod:`repro.predictors.composites` -- every named configuration evaluated
+  in the paper (``tage-gsc``, ``tage-gsc+imli``, ``gehl+l`` ...).
+"""
+
+from repro.predictors.adder import AdderTree
+from repro.predictors.base import BranchPredictor
+from repro.predictors.components import (
+    BiasComponent,
+    GlobalHistoryComponent,
+    IMLICountHashedGlobalComponent,
+    LocalHistoryComponent,
+    geometric_history_lengths,
+)
+from repro.predictors.composites import (
+    CONFIGURATIONS,
+    CompositeOptions,
+    SidecarPredictor,
+    build,
+    build_named,
+    configuration_names,
+    factory,
+)
+from repro.predictors.gehl import GEHLConfig, GEHLPredictor
+from repro.predictors.loop import LoopPredictor, LoopPredictorConfig
+from repro.predictors.simple import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    GSharePredictor,
+    PerceptronPredictor,
+    StaticBackwardTakenPredictor,
+)
+from repro.predictors.statistical_corrector import (
+    StatisticalCorrector,
+    StatisticalCorrectorConfig,
+)
+from repro.predictors.tage import TAGEConfig, TAGEEngine, TAGEPredictor
+from repro.predictors.tage_gsc import TAGEGSCConfig, TAGEGSCPredictor
+from repro.predictors.wormhole import WormholePredictor, WormholePredictorConfig
+
+__all__ = [
+    "AdderTree",
+    "AlwaysTakenPredictor",
+    "BiasComponent",
+    "BimodalPredictor",
+    "BranchPredictor",
+    "CONFIGURATIONS",
+    "CompositeOptions",
+    "GEHLConfig",
+    "GEHLPredictor",
+    "GSharePredictor",
+    "GlobalHistoryComponent",
+    "IMLICountHashedGlobalComponent",
+    "LocalHistoryComponent",
+    "LoopPredictor",
+    "LoopPredictorConfig",
+    "PerceptronPredictor",
+    "SidecarPredictor",
+    "StaticBackwardTakenPredictor",
+    "StatisticalCorrector",
+    "StatisticalCorrectorConfig",
+    "TAGEConfig",
+    "TAGEEngine",
+    "TAGEGSCConfig",
+    "TAGEGSCPredictor",
+    "TAGEPredictor",
+    "WormholePredictor",
+    "WormholePredictorConfig",
+    "build",
+    "build_named",
+    "configuration_names",
+    "factory",
+    "geometric_history_lengths",
+]

@@ -1,0 +1,216 @@
+"""Adder-tree components shared by GEHL and the statistical corrector.
+
+These components implement the :class:`~repro.core.component.NeuralComponent`
+interface defined in :mod:`repro.core.component`.  Together with the IMLI
+components from :mod:`repro.core` they are the inputs of the two adder-tree
+predictors used in the paper:
+
+* :class:`BiasComponent` -- per-PC bias tables, optionally hashed with the
+  TAGE prediction (the "PC + TAGE prediction" tables of the statistical
+  corrector, Figure 5).
+* :class:`GlobalHistoryComponent` -- a bank of tables indexed with the PC
+  hashed with folded global history of geometric lengths (the body of GEHL
+  and of the global-history statistical corrector).
+* :class:`LocalHistoryComponent` -- tables indexed with the PC hashed with
+  the branch's local history; this is the "+L" local-history component whose
+  speculative management the paper argues against (Sections 2.3.2 and 5).
+* :class:`IMLICountHashedGlobalComponent` -- global-history tables whose
+  index additionally mixes in the IMLI counter, the optional refinement
+  mentioned at the end of Section 4.2.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.common.bits import log2_exact, mix_hash
+from repro.common.counters import SignedCounterArray
+from repro.common.history import FoldedHistory
+from repro.core.component import CounterSelection, NeuralComponent, SharedState
+
+__all__ = [
+    "BiasComponent",
+    "GlobalHistoryComponent",
+    "IMLICountHashedGlobalComponent",
+    "LocalHistoryComponent",
+    "geometric_history_lengths",
+]
+
+
+def geometric_history_lengths(
+    count: int, minimum: int, maximum: int
+) -> List[int]:
+    """Return ``count`` history lengths in geometric progression.
+
+    This is the geometric-history-length scheme of O-GEHL and TAGE: the
+    first length is ``minimum``, the last is ``maximum`` and intermediate
+    lengths follow a geometric series (rounded, strictly increasing).
+    """
+    if count <= 0:
+        raise ValueError(f"length count must be positive, got {count}")
+    if minimum <= 0 or maximum < minimum:
+        raise ValueError(
+            f"invalid geometric range [{minimum}, {maximum}]"
+        )
+    if count == 1:
+        return [minimum]
+    ratio = (maximum / minimum) ** (1.0 / (count - 1))
+    lengths: List[int] = []
+    for position in range(count):
+        length = int(round(minimum * (ratio ** position)))
+        if lengths and length <= lengths[-1]:
+            length = lengths[-1] + 1
+        lengths.append(length)
+    lengths[-1] = max(lengths[-1], maximum)
+    return lengths
+
+
+class BiasComponent(NeuralComponent):
+    """Per-PC bias tables for an adder tree.
+
+    One table is indexed with the hashed PC alone.  When
+    ``use_tage_prediction`` is set a second table is indexed with the PC
+    hashed together with the current TAGE prediction, which is how the
+    statistical corrector lets the TAGE prediction dominate unless other
+    components disagree strongly.
+    """
+
+    name = "bias"
+
+    def __init__(
+        self,
+        entries: int = 1024,
+        counter_bits: int = 6,
+        use_tage_prediction: bool = False,
+    ) -> None:
+        self.index_bits = log2_exact(entries)
+        self.use_tage_prediction = use_tage_prediction
+        self.pc_table = SignedCounterArray(entries, counter_bits)
+        self.tage_table = (
+            SignedCounterArray(entries, counter_bits) if use_tage_prediction else None
+        )
+
+    def select(self, pc: int, state: SharedState) -> List[CounterSelection]:
+        selections: List[CounterSelection] = [
+            (self.pc_table, mix_hash(pc, width=self.index_bits))
+        ]
+        if self.tage_table is not None:
+            tage_bit = int(bool(state.tage_prediction))
+            selections.append(
+                (self.tage_table, mix_hash(pc, tage_bit, width=self.index_bits))
+            )
+        return selections
+
+    def storage_bits(self) -> int:
+        bits = self.pc_table.storage_bits()
+        if self.tage_table is not None:
+            bits += self.tage_table.storage_bits()
+        return bits
+
+
+class GlobalHistoryComponent(NeuralComponent):
+    """Tables indexed with the PC hashed with folded global history.
+
+    ``history_lengths`` gives one (possibly zero) history length per table;
+    a zero length degenerates to a PC-indexed table.  Folded histories are
+    registered with the owning predictor's :class:`SharedState` so they stay
+    coherent with the global history register at O(1) cost per branch.
+    """
+
+    name = "global"
+
+    def __init__(
+        self,
+        state: SharedState,
+        history_lengths: Sequence[int],
+        entries: int = 1024,
+        counter_bits: int = 6,
+        use_path_history: bool = True,
+    ) -> None:
+        if not history_lengths:
+            raise ValueError("at least one history length is required")
+        self.index_bits = log2_exact(entries)
+        self.history_lengths = list(history_lengths)
+        self.use_path_history = use_path_history
+        self.tables = [
+            SignedCounterArray(entries, counter_bits) for _ in self.history_lengths
+        ]
+        self.folded: List[FoldedHistory] = [
+            state.new_folded_history(length, self.index_bits)
+            for length in self.history_lengths
+        ]
+
+    def select(self, pc: int, state: SharedState) -> List[CounterSelection]:
+        selections: List[CounterSelection] = []
+        for table, folded, length in zip(self.tables, self.folded, self.history_lengths):
+            path = state.path_history.value(min(length, 16)) if self.use_path_history else 0
+            index = mix_hash(pc, folded.value(), path, width=self.index_bits)
+            selections.append((table, index))
+        return selections
+
+    def storage_bits(self) -> int:
+        return sum(table.storage_bits() for table in self.tables)
+
+
+class IMLICountHashedGlobalComponent(GlobalHistoryComponent):
+    """Global-history tables whose index also mixes in the IMLI counter.
+
+    Section 4.2 of the paper notes that the IMLI-SIC benefit "can be further
+    increased by inserting the IMLI counter in the indices of two tables in
+    the global history component of the SC"; this component implements that
+    refinement (used by the ablation benchmarks).
+    """
+
+    name = "global+imli"
+
+    def select(self, pc: int, state: SharedState) -> List[CounterSelection]:
+        selections: List[CounterSelection] = []
+        imli_count = state.imli.count
+        for table, folded, length in zip(self.tables, self.folded, self.history_lengths):
+            path = state.path_history.value(min(length, 16)) if self.use_path_history else 0
+            index = mix_hash(pc, folded.value(), path, imli_count, width=self.index_bits)
+            selections.append((table, index))
+        return selections
+
+
+class LocalHistoryComponent(NeuralComponent):
+    """Tables indexed with the PC hashed with the branch's local history.
+
+    Requires the owning predictor's :class:`SharedState` to carry a
+    :class:`~repro.common.history.LocalHistoryTable`.  ``history_lengths``
+    selects how many low-order local-history bits each table consumes, so a
+    small bank of tables can cover several local correlation distances.
+    """
+
+    name = "local"
+
+    def __init__(
+        self,
+        history_lengths: Sequence[int],
+        entries: int = 1024,
+        counter_bits: int = 6,
+    ) -> None:
+        if not history_lengths:
+            raise ValueError("at least one local history length is required")
+        self.index_bits = log2_exact(entries)
+        self.history_lengths = list(history_lengths)
+        self.tables = [
+            SignedCounterArray(entries, counter_bits) for _ in self.history_lengths
+        ]
+
+    def select(self, pc: int, state: SharedState) -> List[CounterSelection]:
+        if state.local_histories is None:
+            raise RuntimeError(
+                "LocalHistoryComponent requires a SharedState with a local history table"
+            )
+        local_history = state.local_histories.read(pc)
+        selections: List[CounterSelection] = []
+        for table, length in zip(self.tables, self.history_lengths):
+            index = mix_hash(
+                pc, local_history & ((1 << length) - 1), width=self.index_bits
+            )
+            selections.append((table, index))
+        return selections
+
+    def storage_bits(self) -> int:
+        return sum(table.storage_bits() for table in self.tables)

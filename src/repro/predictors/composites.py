@@ -1,0 +1,410 @@
+"""Composite predictor configurations evaluated in the paper.
+
+This module assembles every named configuration of the evaluation section
+from the building blocks of the library:
+
+* the two base predictors, ``tage-gsc`` and ``gehl``;
+* their IMLI-augmented versions (``+sic``, ``+imli`` = SIC + OH);
+* their local-history versions (``+l`` -- the TAGE-SC-L / FTL style
+  configurations with local corrector tables and an active loop predictor);
+* the combined ``+imli+l`` versions;
+* the wormhole-augmented versions (``+wh``) used as the prior-art
+  comparison.
+
+The :func:`build` factory and the :data:`CONFIGURATIONS` registry are the
+entry points used by the benchmark harness, the examples and the tests.
+Two size profiles are provided: ``"default"`` (used by the benchmark
+harness) and ``"small"`` (much smaller tables, used by the test suite to
+keep runtimes low).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.common.history import LocalHistoryTable
+from repro.core.component import NeuralComponent
+from repro.core.imli_oh import IMLIOuterHistoryComponent
+from repro.core.imli_sic import IMLISameIterationComponent
+from repro.predictors.base import BranchPredictor
+from repro.predictors.components import IMLICountHashedGlobalComponent, LocalHistoryComponent
+from repro.predictors.gehl import GEHLConfig, GEHLPredictor
+from repro.predictors.loop import LoopPredictor, LoopPredictorConfig
+from repro.predictors.statistical_corrector import StatisticalCorrectorConfig
+from repro.predictors.tage import TAGEConfig
+from repro.predictors.tage_gsc import TAGEGSCConfig, TAGEGSCPredictor
+from repro.predictors.wormhole import WormholePredictor, WormholePredictorConfig
+from repro.trace.branch import BranchRecord
+
+__all__ = [
+    "CompositeOptions",
+    "SidecarPredictor",
+    "build",
+    "configuration_names",
+    "CONFIGURATIONS",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Side predictor wrapper
+# --------------------------------------------------------------------------- #
+
+
+class SidecarPredictor(BranchPredictor):
+    """Wraps a main predictor with loop and/or wormhole side predictors.
+
+    The override policy follows the paper:
+
+    * the wormhole prediction, when confident, overrides everything;
+    * the loop prediction overrides the main prediction only when
+      ``use_loop_prediction`` is set (the "+L" configurations); in the
+      "+WH" configurations the loop predictor is present purely to supply
+      trip counts to WH (Section 3.3).
+    """
+
+    def __init__(
+        self,
+        main: BranchPredictor,
+        loop_predictor: Optional[LoopPredictor] = None,
+        wormhole: Optional[WormholePredictor] = None,
+        use_loop_prediction: bool = True,
+        name: Optional[str] = None,
+    ) -> None:
+        self.main = main
+        self.loop_predictor = loop_predictor
+        self.wormhole = wormhole
+        self.use_loop_prediction = use_loop_prediction
+        self.name = name or main.name
+        self._main_prediction = True
+
+    def predict(self, record: BranchRecord) -> bool:
+        prediction = self.main.predict(record)
+        self._main_prediction = prediction
+        if self.loop_predictor is not None and self.use_loop_prediction:
+            loop_prediction = self.loop_predictor.predict(record)
+            if loop_prediction is not None:
+                prediction = loop_prediction
+        if self.wormhole is not None:
+            wormhole_prediction = self.wormhole.predict(record)
+            if wormhole_prediction is not None:
+                prediction = wormhole_prediction
+        return prediction
+
+    def update(self, record: BranchRecord, prediction: bool) -> None:
+        self.main.update(record, self._main_prediction)
+        if self.loop_predictor is not None:
+            self.loop_predictor.update(record)
+        if self.wormhole is not None:
+            self.wormhole.update(
+                record, main_mispredicted=self._main_prediction != record.taken
+            )
+
+    def observe_unconditional(self, record: BranchRecord) -> None:
+        self.main.observe_unconditional(record)
+
+    def storage_bits(self) -> int:
+        bits = self.main.storage_bits()
+        if self.loop_predictor is not None:
+            bits += self.loop_predictor.storage_bits()
+        if self.wormhole is not None:
+            bits += self.wormhole.storage_bits()
+        return bits
+
+
+# --------------------------------------------------------------------------- #
+# Size profiles
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class _SizeProfile:
+    """Scaled table geometries for one size profile."""
+
+    tage: TAGEConfig
+    corrector: StatisticalCorrectorConfig
+    gehl: GEHLConfig
+    sic_entries: int
+    oh_prediction_entries: int
+    local_entries: int
+    local_history_lengths: Sequence[int]
+    local_table_size: int
+    local_table_history_bits: int
+    loop_entries: int
+
+
+_PROFILES: Dict[str, _SizeProfile] = {
+    "default": _SizeProfile(
+        tage=TAGEConfig(),
+        corrector=StatisticalCorrectorConfig(),
+        gehl=GEHLConfig(),
+        sic_entries=512,
+        oh_prediction_entries=256,
+        local_entries=1024,
+        local_history_lengths=(6, 11, 16),
+        local_table_size=256,
+        local_table_history_bits=16,
+        loop_entries=16,
+    ),
+    "small": _SizeProfile(
+        tage=TAGEConfig(
+            num_tables=6,
+            table_entries=256,
+            base_entries=1024,
+            max_history=80,
+            useful_reset_period=4096,
+        ),
+        corrector=StatisticalCorrectorConfig(
+            bias_entries=256,
+            global_table_entries=256,
+            global_history_lengths=(4, 9, 18),
+        ),
+        gehl=GEHLConfig(
+            num_tables=5,
+            table_entries=256,
+            bias_entries=256,
+            max_history=64,
+        ),
+        sic_entries=256,
+        oh_prediction_entries=256,
+        local_entries=256,
+        local_history_lengths=(5, 10),
+        local_table_size=128,
+        local_table_history_bits=12,
+        loop_entries=16,
+    ),
+}
+
+
+# --------------------------------------------------------------------------- #
+# Configuration options and builder
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class CompositeOptions:
+    """Feature switches for one composite configuration.
+
+    Attributes
+    ----------
+    base:
+        ``"tage-gsc"`` or ``"gehl"``.
+    imli_sic / imli_oh:
+        Add the IMLI-SIC / IMLI-OH components to the neural part.
+    local:
+        Add local-history corrector tables and activate the loop predictor
+        (the "+L" configurations of Tables 1 and 2).
+    loop:
+        Add only the loop predictor as an active side predictor (used to
+        reproduce the Section 4.2.2 observation that the loop predictor
+        adds little once IMLI-SIC is present).
+    wormhole:
+        Add the wormhole side predictor (with a loop predictor supplying
+        trip counts but not predictions).
+    imli_global_tables:
+        Number of additional global-history tables whose index also hashes
+        the IMLI counter (the optional refinement of Section 4.2; used by
+        the ablation benchmarks).
+    oh_update_delay:
+        Delay, in conditional branches, applied to IMLI history table
+        updates (Section 4.3.2 delayed-update experiment).
+    """
+
+    base: str = "tage-gsc"
+    imli_sic: bool = False
+    imli_oh: bool = False
+    local: bool = False
+    loop: bool = False
+    wormhole: bool = False
+    imli_global_tables: int = 0
+    oh_update_delay: int = 0
+
+    def label(self) -> str:
+        """Configuration label used in reports (e.g. ``tage-gsc+imli``)."""
+        parts = [self.base]
+        if self.imli_sic and self.imli_oh:
+            parts.append("imli")
+        elif self.imli_sic:
+            parts.append("sic")
+        elif self.imli_oh:
+            parts.append("oh")
+        if self.imli_global_tables:
+            parts.append("imlihash")
+        if self.local:
+            parts.append("l")
+        elif self.loop:
+            parts.append("loop")
+        if self.wormhole:
+            parts.append("wh")
+        return "+".join(parts)
+
+
+def build(options: CompositeOptions, profile: str = "default") -> BranchPredictor:
+    """Build the composite predictor described by ``options``.
+
+    Parameters
+    ----------
+    options:
+        Which base predictor and which side components to assemble.
+    profile:
+        Size profile: ``"default"`` for the benchmark harness or
+        ``"small"`` for fast unit tests.
+    """
+    if profile not in _PROFILES:
+        raise KeyError(f"unknown size profile {profile!r}; known: {sorted(_PROFILES)}")
+    sizes = _PROFILES[profile]
+
+    extra_components: List[NeuralComponent] = []
+    oh_component: Optional[IMLIOuterHistoryComponent] = None
+    if options.imli_sic:
+        extra_components.append(
+            IMLISameIterationComponent(entries=sizes.sic_entries)
+        )
+    if options.imli_oh:
+        oh_component = IMLIOuterHistoryComponent(
+            prediction_entries=sizes.oh_prediction_entries,
+            update_delay=options.oh_update_delay,
+        )
+        extra_components.append(oh_component)
+    if options.local:
+        extra_components.append(
+            LocalHistoryComponent(
+                history_lengths=list(sizes.local_history_lengths),
+                entries=sizes.local_entries,
+            )
+        )
+    local_table = (
+        LocalHistoryTable(sizes.local_table_size, sizes.local_table_history_bits)
+        if options.local
+        else None
+    )
+
+    label = options.label()
+    if options.base == "tage-gsc":
+        if options.imli_global_tables:
+            # The IMLI-hashed global tables need the shared state, so they are
+            # appended after the main predictor is built.
+            main = TAGEGSCPredictor(
+                config=TAGEGSCConfig(tage=sizes.tage, corrector=sizes.corrector),
+                extra_sc_components=extra_components,
+                local_history_table=local_table,
+                name=label,
+            )
+            main.corrector.adder.components.append(
+                IMLICountHashedGlobalComponent(
+                    state=main.state,
+                    history_lengths=[9, 18][: options.imli_global_tables],
+                    entries=sizes.corrector.global_table_entries,
+                )
+            )
+        else:
+            main = TAGEGSCPredictor(
+                config=TAGEGSCConfig(tage=sizes.tage, corrector=sizes.corrector),
+                extra_sc_components=extra_components,
+                local_history_table=local_table,
+                name=label,
+            )
+    elif options.base == "gehl":
+        main = GEHLPredictor(
+            config=sizes.gehl,
+            extra_components=extra_components,
+            local_history_table=local_table,
+            name=label,
+        )
+        if options.imli_global_tables:
+            main.adder.components.append(
+                IMLICountHashedGlobalComponent(
+                    state=main.state,
+                    history_lengths=[9, 18][: options.imli_global_tables],
+                    entries=sizes.gehl.table_entries,
+                )
+            )
+    else:
+        raise ValueError(f"unknown base predictor {options.base!r}")
+
+    needs_loop = options.local or options.loop or options.wormhole
+    if not needs_loop:
+        return main
+
+    loop_predictor = LoopPredictor(LoopPredictorConfig(entries=sizes.loop_entries))
+    wormhole = (
+        WormholePredictor(loop_predictor, WormholePredictorConfig())
+        if options.wormhole
+        else None
+    )
+    return SidecarPredictor(
+        main,
+        loop_predictor=loop_predictor,
+        wormhole=wormhole,
+        use_loop_prediction=options.local or options.loop,
+        name=label,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Named configuration registry
+# --------------------------------------------------------------------------- #
+
+
+def _registry() -> Dict[str, CompositeOptions]:
+    configurations: Dict[str, CompositeOptions] = {}
+    for base in ("tage-gsc", "gehl"):
+        configurations[base] = CompositeOptions(base=base)
+        configurations[f"{base}+sic"] = CompositeOptions(base=base, imli_sic=True)
+        configurations[f"{base}+oh"] = CompositeOptions(base=base, imli_oh=True)
+        configurations[f"{base}+imli"] = CompositeOptions(
+            base=base, imli_sic=True, imli_oh=True
+        )
+        configurations[f"{base}+l"] = CompositeOptions(base=base, local=True)
+        configurations[f"{base}+imli+l"] = CompositeOptions(
+            base=base, imli_sic=True, imli_oh=True, local=True
+        )
+        configurations[f"{base}+loop"] = CompositeOptions(base=base, loop=True)
+        configurations[f"{base}+sic+loop"] = CompositeOptions(
+            base=base, imli_sic=True, loop=True
+        )
+        configurations[f"{base}+wh"] = CompositeOptions(base=base, wormhole=True)
+        configurations[f"{base}+sic+wh"] = CompositeOptions(
+            base=base, imli_sic=True, wormhole=True
+        )
+    # The paper's TAGE-SC-L is TAGE-GSC with local history and the loop
+    # predictor activated; the "record" configuration adds the IMLI
+    # components on top (Section 5).
+    configurations["tage-sc-l"] = CompositeOptions(base="tage-gsc", local=True)
+    configurations["tage-sc-l+imli"] = CompositeOptions(
+        base="tage-gsc", imli_sic=True, imli_oh=True, local=True
+    )
+    return configurations
+
+
+CONFIGURATIONS: Dict[str, CompositeOptions] = _registry()
+
+
+def configuration_names() -> List[str]:
+    """Names of all predefined composite configurations."""
+    return list(CONFIGURATIONS)
+
+
+def build_named(name: str, profile: str = "default") -> BranchPredictor:
+    """Build one of the predefined configurations by name."""
+    try:
+        options = CONFIGURATIONS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown configuration {name!r}; known: {configuration_names()}"
+        ) from None
+    predictor = build(options, profile=profile)
+    predictor.name = name
+    return predictor
+
+
+def factory(name: str, profile: str = "default") -> Callable[[], BranchPredictor]:
+    """Return a zero-argument factory for a predefined configuration.
+
+    The simulation runner builds a fresh predictor per trace, so factories
+    rather than instances are passed around.
+    """
+    def _build() -> BranchPredictor:
+        return build_named(name, profile=profile)
+
+    return _build

@@ -1,0 +1,339 @@
+"""The TAGE predictor (TAgged GEometric history length predictor).
+
+TAGE (Seznec and Michaud, 2006) is the main component of the TAGE-GSC base
+predictor used in the paper.  It consists of a bimodal base table plus a set
+of partially tagged tables indexed with global (branch + path) history of
+geometric lengths.  The longest-history matching table provides the
+prediction; allocation on mispredictions steers hard branches toward longer
+histories; per-entry useful counters manage replacement.
+
+Two classes are provided:
+
+* :class:`TAGEEngine` -- the predictor proper, operating on a
+  :class:`~repro.core.component.SharedState` owned by someone else.  The
+  TAGE-GSC composite shares one state object between TAGE and its
+  statistical corrector.
+* :class:`TAGEPredictor` -- a standalone
+  :class:`~repro.predictors.base.BranchPredictor` wrapper that owns its own
+  shared state (used for baselines, tests and examples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.common.bits import log2_exact, mask
+from repro.common.counters import UnsignedCounterArray
+from repro.common.history import FoldedHistory
+from repro.core.component import SharedState
+from repro.predictors.base import BranchPredictor
+from repro.predictors.components import geometric_history_lengths
+from repro.trace.branch import BranchRecord
+
+__all__ = ["TAGEConfig", "TAGEEngine", "TAGEPrediction", "TAGEPredictor"]
+
+
+@dataclass(frozen=True)
+class TAGEConfig:
+    """Geometry of a TAGE predictor."""
+
+    num_tables: int = 10
+    table_entries: int = 512
+    tag_bits: int = 10
+    counter_bits: int = 3
+    useful_bits: int = 2
+    min_history: int = 4
+    max_history: int = 256
+    base_entries: int = 4096
+    base_counter_bits: int = 2
+    use_alt_counter_bits: int = 4
+    useful_reset_period: int = 16384
+
+    def history_lengths(self) -> List[int]:
+        """Geometric history lengths, one per tagged table (short to long)."""
+        return geometric_history_lengths(
+            self.num_tables, self.min_history, self.max_history
+        )
+
+
+@dataclass
+class TAGEPrediction:
+    """Prediction-time context of the TAGE engine for one branch.
+
+    The engine caches everything the update phase needs: per-table indices
+    and tags, the provider and alternate components, and both predictions.
+    """
+
+    prediction: bool = True
+    alt_prediction: bool = True
+    provider: int = -1
+    alt_provider: int = -1
+    provider_weak: bool = False
+    indices: List[int] = field(default_factory=list)
+    tags: List[int] = field(default_factory=list)
+    base_index: int = 0
+
+
+class _TaggedTable:
+    """One partially tagged TAGE table (counters, tags, useful bits)."""
+
+    __slots__ = ("entries", "counter_max", "counter_min", "useful_max", "ctr", "tag", "useful")
+
+    def __init__(self, entries: int, counter_bits: int, useful_bits: int) -> None:
+        self.entries = entries
+        self.counter_max = (1 << (counter_bits - 1)) - 1
+        self.counter_min = -(1 << (counter_bits - 1))
+        self.useful_max = (1 << useful_bits) - 1
+        self.ctr = [0] * entries
+        self.tag = [0] * entries
+        self.useful = [0] * entries
+
+    def update_counter(self, index: int, taken: bool) -> None:
+        value = self.ctr[index]
+        if taken:
+            if value < self.counter_max:
+                self.ctr[index] = value + 1
+        elif value > self.counter_min:
+            self.ctr[index] = value - 1
+
+
+class TAGEEngine:
+    """TAGE prediction and update logic over a shared fetch state."""
+
+    def __init__(self, state: SharedState, config: Optional[TAGEConfig] = None) -> None:
+        self.config = config or TAGEConfig()
+        self.state = state
+        cfg = self.config
+        self.index_bits = log2_exact(cfg.table_entries)
+        self.base_index_bits = log2_exact(cfg.base_entries)
+        self.history_lengths = cfg.history_lengths()
+        if self.history_lengths[-1] > state.global_history.capacity:
+            raise ValueError(
+                "shared global history capacity "
+                f"({state.global_history.capacity}) is smaller than the longest "
+                f"TAGE history ({self.history_lengths[-1]})"
+            )
+        self.tables = [
+            _TaggedTable(cfg.table_entries, cfg.counter_bits, cfg.useful_bits)
+            for _ in range(cfg.num_tables)
+        ]
+        self.base = UnsignedCounterArray(cfg.base_entries, cfg.base_counter_bits)
+        # Folded histories: one fold at index width and one at tag width per
+        # tagged table, kept coherent by the shared state.
+        self.index_folds: List[FoldedHistory] = [
+            state.new_folded_history(length, self.index_bits)
+            for length in self.history_lengths
+        ]
+        self.tag_folds: List[FoldedHistory] = [
+            state.new_folded_history(length, cfg.tag_bits)
+            for length in self.history_lengths
+        ]
+        self.tag_folds_alt: List[FoldedHistory] = [
+            state.new_folded_history(length, max(cfg.tag_bits - 1, 1))
+            for length in self.history_lengths
+        ]
+        # use_alt_on_new_alloc counter: when positive, prefer the alternate
+        # prediction for weak (newly allocated) provider entries.
+        self._use_alt = 0
+        self._use_alt_max = (1 << (cfg.use_alt_counter_bits - 1)) - 1
+        self._use_alt_min = -(1 << (cfg.use_alt_counter_bits - 1))
+        # Deterministic pseudo-random source for allocation spreading.
+        self._allocation_seed = 0x2545F491
+        self._updates_since_reset = 0
+        self._reset_column = 0
+
+    # ------------------------------------------------------------------ #
+    # Index and tag functions
+    # ------------------------------------------------------------------ #
+
+    def _table_index(self, pc: int, table: int) -> int:
+        folded = self.index_folds[table].fold
+        length = self.history_lengths[table]
+        path = self.state.path_history.value(min(length, 16))
+        value = pc ^ (pc >> (self.index_bits - 2)) ^ folded ^ (path << 1) ^ (table << 3)
+        return (value ^ (value >> self.index_bits)) & mask(self.index_bits)
+
+    def _table_tag(self, pc: int, table: int) -> int:
+        tag_bits = self.config.tag_bits
+        value = pc ^ (pc >> 7) ^ self.tag_folds[table].fold ^ (self.tag_folds_alt[table].fold << 1)
+        return (value ^ (value >> tag_bits)) & mask(tag_bits)
+
+    def _base_index(self, pc: int) -> int:
+        return (pc ^ (pc >> self.base_index_bits)) & mask(self.base_index_bits)
+
+    def _next_random(self) -> int:
+        # xorshift32: cheap, deterministic allocation tie-breaking.
+        seed = self._allocation_seed
+        seed ^= (seed << 13) & 0xFFFFFFFF
+        seed ^= seed >> 17
+        seed ^= (seed << 5) & 0xFFFFFFFF
+        self._allocation_seed = seed & 0xFFFFFFFF
+        return self._allocation_seed
+
+    # ------------------------------------------------------------------ #
+    # Prediction
+    # ------------------------------------------------------------------ #
+
+    def predict(self, pc: int) -> TAGEPrediction:
+        """Compute the TAGE prediction and its update context for ``pc``."""
+        cfg = self.config
+        result = TAGEPrediction()
+        result.base_index = self._base_index(pc)
+        base_prediction = self.base.predict(result.base_index)
+        result.indices = [self._table_index(pc, table) for table in range(cfg.num_tables)]
+        result.tags = [self._table_tag(pc, table) for table in range(cfg.num_tables)]
+
+        provider = -1
+        alt_provider = -1
+        for table in range(cfg.num_tables - 1, -1, -1):
+            if self.tables[table].tag[result.indices[table]] == result.tags[table]:
+                if provider < 0:
+                    provider = table
+                elif alt_provider < 0:
+                    alt_provider = table
+                    break
+        result.provider = provider
+        result.alt_provider = alt_provider
+
+        if alt_provider >= 0:
+            alt_ctr = self.tables[alt_provider].ctr[result.indices[alt_provider]]
+            result.alt_prediction = alt_ctr >= 0
+        else:
+            result.alt_prediction = base_prediction
+
+        if provider >= 0:
+            ctr = self.tables[provider].ctr[result.indices[provider]]
+            provider_prediction = ctr >= 0
+            # A "weak" provider is a (likely newly allocated) entry whose
+            # counter is at one of the two central values.
+            result.provider_weak = ctr in (0, -1)
+            if result.provider_weak and self._use_alt >= 0:
+                result.prediction = result.alt_prediction
+            else:
+                result.prediction = provider_prediction
+        else:
+            result.prediction = base_prediction
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Update
+    # ------------------------------------------------------------------ #
+
+    def train(self, record: BranchRecord, prediction: TAGEPrediction) -> None:
+        """Update TAGE state with the resolved outcome of ``record``."""
+        cfg = self.config
+        taken = record.taken
+        provider = prediction.provider
+        mispredicted = prediction.prediction != taken
+
+        if provider >= 0:
+            table = self.tables[provider]
+            index = prediction.indices[provider]
+            provider_prediction = table.ctr[index] >= 0
+            # Track whether the alternate prediction would have been better
+            # for weak providers (use_alt_on_na policy).
+            if prediction.provider_weak and provider_prediction != prediction.alt_prediction:
+                if prediction.alt_prediction == taken:
+                    if self._use_alt < self._use_alt_max:
+                        self._use_alt += 1
+                elif self._use_alt > self._use_alt_min:
+                    self._use_alt -= 1
+            # Useful bits: the provider was useful when it disagreed with the
+            # alternate prediction and was right.
+            if provider_prediction != prediction.alt_prediction:
+                if provider_prediction == taken:
+                    if table.useful[index] < table.useful_max:
+                        table.useful[index] += 1
+                elif table.useful[index] > 0:
+                    table.useful[index] -= 1
+            table.update_counter(index, taken)
+            # Keep the base table warm when the provider entry is not yet
+            # confidently useful.
+            if table.useful[index] == 0:
+                self.base.update(prediction.base_index, taken)
+        else:
+            self.base.update(prediction.base_index, taken)
+
+        if mispredicted and provider < cfg.num_tables - 1:
+            self._allocate(record.pc, taken, prediction)
+
+        self._updates_since_reset += 1
+        if self._updates_since_reset >= cfg.useful_reset_period:
+            self._updates_since_reset = 0
+            self._decay_useful()
+
+    def _allocate(self, pc: int, taken: bool, prediction: TAGEPrediction) -> None:
+        """Allocate entries in longer-history tables after a misprediction."""
+        cfg = self.config
+        start = prediction.provider + 1
+        # Randomly skip the first candidate table occasionally so allocations
+        # spread across history lengths (classic TAGE trick).
+        if start < cfg.num_tables - 1 and (self._next_random() & 1):
+            start += 1
+        allocated = 0
+        for table_number in range(start, cfg.num_tables):
+            table = self.tables[table_number]
+            index = prediction.indices[table_number]
+            if table.useful[index] == 0:
+                table.tag[index] = prediction.tags[table_number]
+                table.ctr[index] = 0 if taken else -1
+                table.useful[index] = 0
+                allocated += 1
+                if allocated >= 1:
+                    break
+        if allocated == 0:
+            # No free entry: age the candidates so a future allocation succeeds.
+            for table_number in range(start, cfg.num_tables):
+                table = self.tables[table_number]
+                index = prediction.indices[table_number]
+                if table.useful[index] > 0:
+                    table.useful[index] -= 1
+
+    def _decay_useful(self) -> None:
+        """Periodically halve useful counters (graceful forgetting)."""
+        for table in self.tables:
+            useful = table.useful
+            for index in range(table.entries):
+                if useful[index]:
+                    useful[index] >>= 1
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+
+    def storage_bits(self) -> int:
+        cfg = self.config
+        entry_bits = cfg.counter_bits + cfg.tag_bits + cfg.useful_bits
+        tagged_bits = cfg.num_tables * cfg.table_entries * entry_bits
+        base_bits = cfg.base_entries * cfg.base_counter_bits
+        return tagged_bits + base_bits + cfg.use_alt_counter_bits
+
+
+class TAGEPredictor(BranchPredictor):
+    """Standalone TAGE predictor owning its shared state."""
+
+    def __init__(self, config: Optional[TAGEConfig] = None, name: str = "tage") -> None:
+        self.name = name
+        config = config or TAGEConfig()
+        self.state = SharedState(
+            history_capacity=max(1024, config.max_history + 1)
+        )
+        self.engine = TAGEEngine(self.state, config)
+        self._last: Optional[TAGEPrediction] = None
+
+    def predict(self, record: BranchRecord) -> bool:
+        self._last = self.engine.predict(record.pc)
+        return self._last.prediction
+
+    def update(self, record: BranchRecord, prediction: bool) -> None:
+        if self._last is None:
+            raise RuntimeError("update() called before predict()")
+        self.engine.train(record, self._last)
+        self.state.update_conditional(record)
+
+    def observe_unconditional(self, record: BranchRecord) -> None:
+        self.state.update_unconditional(record)
+
+    def storage_bits(self) -> int:
+        return self.engine.storage_bits() + self.state.storage_bits()

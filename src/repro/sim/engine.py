@@ -1,0 +1,127 @@
+"""The trace-driven simulation engine.
+
+Following the experimental framework of the paper (Section 3), predictors
+are evaluated by replaying branch traces with immediate updates: for every
+conditional branch the predictor is asked for a prediction and then
+immediately trained with the resolved outcome; non-conditional branches are
+passed to the predictor so path-history-like structures can observe them.
+
+Accuracy is reported in MisPredictions per Kilo Instructions (MPKI), the
+metric used throughout the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.predictors.base import BranchPredictor
+from repro.trace.trace import Trace
+
+__all__ = ["SimulationResult", "simulate"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of simulating one predictor over one trace."""
+
+    trace_name: str
+    predictor_name: str
+    conditional_branches: int
+    mispredictions: int
+    instructions: int
+    storage_bits: int
+    per_pc_mispredictions: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def mpki(self) -> float:
+        """Mispredictions per kilo-instruction."""
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.mispredictions / self.instructions
+
+    @property
+    def misprediction_rate(self) -> float:
+        """Fraction of conditional branches mispredicted."""
+        if self.conditional_branches == 0:
+            return 0.0
+        return self.mispredictions / self.conditional_branches
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of conditional branches predicted correctly."""
+        return 1.0 - self.misprediction_rate
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.predictor_name} on {self.trace_name}: "
+            f"{self.mpki:.3f} MPKI "
+            f"({self.mispredictions}/{self.conditional_branches} mispredicted, "
+            f"{self.storage_bits / 1024:.1f} Kbits)"
+        )
+
+
+def simulate(
+    predictor: BranchPredictor,
+    trace: Trace,
+    warmup_fraction: float = 0.0,
+    track_per_pc: bool = False,
+) -> SimulationResult:
+    """Replay ``trace`` through ``predictor`` and measure its accuracy.
+
+    Parameters
+    ----------
+    predictor:
+        The predictor under test; it is trained in place.
+    trace:
+        The branch trace to replay.
+    warmup_fraction:
+        Fraction (0 to 1) of the trace's conditional branches whose
+        mispredictions are excluded from the metric; the predictor is still
+        trained during warm-up.  The paper's championship framework measures
+        the full trace, so the default is 0.
+    track_per_pc:
+        Record per-static-branch misprediction counts (used by the analysis
+        helpers to identify which branch classes a component fixes).
+    """
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValueError(
+            f"warmup fraction must be in [0, 1), got {warmup_fraction}"
+        )
+    total_conditional = trace.conditional_count
+    warmup_limit = int(total_conditional * warmup_fraction)
+
+    mispredictions = 0
+    measured_conditional = 0
+    measured_instructions = 0
+    per_pc: Dict[int, int] = {}
+    seen_conditional = 0
+
+    for record in trace:
+        if not record.is_conditional:
+            predictor.observe_unconditional(record)
+            if seen_conditional >= warmup_limit:
+                measured_instructions += record.instruction_gap + 1
+            continue
+        prediction = predictor.predict(record)
+        predictor.update(record, prediction)
+        seen_conditional += 1
+        if seen_conditional <= warmup_limit:
+            continue
+        measured_conditional += 1
+        measured_instructions += record.instruction_gap + 1
+        if prediction != record.taken:
+            mispredictions += 1
+            if track_per_pc:
+                per_pc[record.pc] = per_pc.get(record.pc, 0) + 1
+
+    return SimulationResult(
+        trace_name=trace.name,
+        predictor_name=predictor.name,
+        conditional_branches=measured_conditional,
+        mispredictions=mispredictions,
+        instructions=measured_instructions,
+        storage_bits=predictor.storage_bits(),
+        per_pc_mispredictions=per_pc,
+    )

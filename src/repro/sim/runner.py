@@ -1,0 +1,125 @@
+"""Suite runner: evaluate many predictor configurations over many traces.
+
+The benchmark harness and the examples all follow the same pattern: build a
+set of traces (one or both synthetic suites), run a set of predictor
+configurations over every trace, and aggregate per-suite average MPKI.
+:class:`SuiteRunner` implements that pattern once, with memoisation so that
+several experiments sharing a configuration (for example Table 1 and
+Figure 8, which both need ``tage-gsc`` and ``tage-gsc+imli``) only pay for
+the simulation once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.predictors.base import BranchPredictor
+from repro.predictors.composites import build_named
+from repro.sim.engine import SimulationResult, simulate
+from repro.sim.metrics import average_mpki
+from repro.trace.trace import Trace
+
+__all__ = ["ConfigurationRun", "SuiteRunner"]
+
+PredictorFactory = Callable[[], BranchPredictor]
+
+
+@dataclass
+class ConfigurationRun:
+    """Results of one configuration over one collection of traces."""
+
+    configuration: str
+    results: List[SimulationResult] = field(default_factory=list)
+
+    @property
+    def average_mpki(self) -> float:
+        """Arithmetic mean MPKI over the traces."""
+        return average_mpki(self.results)
+
+    @property
+    def storage_bits(self) -> int:
+        """Storage of the configuration (identical across traces)."""
+        if not self.results:
+            return 0
+        return self.results[0].storage_bits
+
+    def mpki_by_trace(self) -> Dict[str, float]:
+        """Map of trace name to MPKI."""
+        return {result.trace_name: result.mpki for result in self.results}
+
+    def result_for(self, trace_name: str) -> SimulationResult:
+        """The :class:`SimulationResult` for ``trace_name``."""
+        for result in self.results:
+            if result.trace_name == trace_name:
+                return result
+        raise KeyError(f"no result for trace {trace_name!r}")
+
+
+class SuiteRunner:
+    """Runs predictor configurations over a fixed set of traces.
+
+    Parameters
+    ----------
+    traces:
+        The traces to evaluate on (typically one synthetic suite, or the
+        concatenation of both).
+    profile:
+        Size profile passed to :func:`repro.predictors.composites.build_named`
+        when a configuration is referenced by name.
+    """
+
+    def __init__(self, traces: Sequence[Trace], profile: str = "default") -> None:
+        if not traces:
+            raise ValueError("the runner needs at least one trace")
+        self.traces = list(traces)
+        self.profile = profile
+        self._cache: Dict[str, ConfigurationRun] = {}
+
+    def trace_names(self) -> List[str]:
+        """Names of the traces the runner evaluates on."""
+        return [trace.name for trace in self.traces]
+
+    def run(
+        self,
+        configuration: str,
+        factory: Optional[PredictorFactory] = None,
+        track_per_pc: bool = False,
+    ) -> ConfigurationRun:
+        """Run ``configuration`` over every trace (memoised by name).
+
+        ``factory`` overrides how the predictor is built; by default the
+        configuration name is looked up in the composite registry.  A fresh
+        predictor instance is built per trace, as in the championship
+        framework.
+        """
+        cached = self._cache.get(configuration)
+        if cached is not None:
+            return cached
+        if factory is None:
+            factory = lambda: build_named(configuration, profile=self.profile)  # noqa: E731
+        run = ConfigurationRun(configuration=configuration)
+        for trace in self.traces:
+            predictor = factory()
+            run.results.append(simulate(predictor, trace, track_per_pc=track_per_pc))
+        self._cache[configuration] = run
+        return run
+
+    def run_many(
+        self,
+        configurations: Iterable[str],
+        factories: Optional[Mapping[str, PredictorFactory]] = None,
+    ) -> Dict[str, ConfigurationRun]:
+        """Run several configurations and return them keyed by name."""
+        factories = factories or {}
+        return {
+            configuration: self.run(configuration, factories.get(configuration))
+            for configuration in configurations
+        }
+
+    def invalidate(self, configuration: Optional[str] = None) -> None:
+        """Drop memoised results (all of them, or one configuration)."""
+        if configuration is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(configuration, None)

@@ -1,0 +1,133 @@
+"""Storage and speculative-state accounting.
+
+Section 4.4 of the paper argues the IMLI components cost only 708 bytes of
+storage and 26 bits of per-checkpoint speculative state (the 10-bit IMLI
+counter plus the 16-bit PIPE vector), versus the much larger cost and the
+associative in-flight-window search required by local-history components.
+This module computes the equivalent accounting for the library's
+configurations so the benchmark harness can print the storage columns of
+Tables 1 and 2 and the speculative-state comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.predictors.base import BranchPredictor
+from repro.predictors.composites import SidecarPredictor, build_named
+from repro.predictors.gehl import GEHLPredictor
+from repro.predictors.tage_gsc import TAGEGSCPredictor
+
+__all__ = [
+    "StorageReport",
+    "imli_component_cost_bits",
+    "storage_report",
+    "speculative_state_report",
+]
+
+
+@dataclass(frozen=True)
+class StorageReport:
+    """Storage accounting for one configuration."""
+
+    configuration: str
+    total_bits: int
+    breakdown: Tuple[Tuple[str, int], ...]
+
+    @property
+    def total_kilobits(self) -> float:
+        """Total storage in Kbits (the unit of Tables 1 and 2)."""
+        return self.total_bits / 1024.0
+
+    @property
+    def total_bytes(self) -> float:
+        """Total storage in bytes."""
+        return self.total_bits / 8.0
+
+
+def _unwrap(predictor: BranchPredictor) -> BranchPredictor:
+    return predictor.main if isinstance(predictor, SidecarPredictor) else predictor
+
+
+def storage_report(
+    configuration: str, profile: str = "default", predictor: Optional[BranchPredictor] = None
+) -> StorageReport:
+    """Compute the storage breakdown of a named configuration."""
+    predictor = predictor or build_named(configuration, profile=profile)
+    breakdown: List[Tuple[str, int]] = []
+    main = _unwrap(predictor)
+    if isinstance(main, TAGEGSCPredictor):
+        breakdown.append(("tage", main.tage.storage_bits()))
+        breakdown.extend(
+            (f"sc/{name}", bits)
+            for name, bits in main.corrector.component_storage_breakdown()
+        )
+        breakdown.append(("shared-state", main.state.storage_bits()))
+    elif isinstance(main, GEHLPredictor):
+        breakdown.extend(
+            (f"gehl/{name}", bits)
+            for name, bits in main.adder.component_storage_breakdown()
+        )
+        breakdown.append(("shared-state", main.state.storage_bits()))
+    else:
+        breakdown.append((main.name, main.storage_bits()))
+    if isinstance(predictor, SidecarPredictor):
+        if predictor.loop_predictor is not None:
+            breakdown.append(("loop-predictor", predictor.loop_predictor.storage_bits()))
+        if predictor.wormhole is not None:
+            breakdown.append(("wormhole", predictor.wormhole.storage_bits()))
+    return StorageReport(
+        configuration=configuration,
+        total_bits=predictor.storage_bits(),
+        breakdown=tuple(breakdown),
+    )
+
+
+def imli_component_cost_bits(profile: str = "default") -> Dict[str, int]:
+    """Storage added by the IMLI components alone (Section 4.4).
+
+    Computed as the component-level breakdown difference between the
+    ``tage-gsc+imli`` and ``tage-gsc`` configurations.
+    """
+    base = storage_report("tage-gsc", profile=profile)
+    imli = storage_report("tage-gsc+imli", profile=profile)
+    base_names = {name for name, _ in base.breakdown}
+    added = {
+        name: bits for name, bits in imli.breakdown if name not in base_names
+    }
+    added["total"] = imli.total_bits - base.total_bits
+    return added
+
+
+def speculative_state_report(profile: str = "default") -> Dict[str, Dict[str, object]]:
+    """Per-configuration speculative-state management summary.
+
+    For each representative configuration the report gives the number of
+    bits that a per-branch checkpoint must hold and whether an associative
+    search of the in-flight branch window is required (the qualitative
+    hardware-complexity argument of Sections 2.3 and 4.4).
+    """
+    report: Dict[str, Dict[str, object]] = {}
+    for configuration in ("tage-gsc", "tage-gsc+imli", "tage-gsc+l", "tage-gsc+wh"):
+        predictor = build_named(configuration, profile=profile)
+        main = _unwrap(predictor)
+        checkpoint_bits: int
+        if isinstance(main, (TAGEGSCPredictor, GEHLPredictor)):
+            checkpoint_bits = main.speculative_state_bits()
+        else:  # pragma: no cover - all registry configurations hit the branch above
+            checkpoint_bits = 0
+        uses_local_history = "+l" in configuration or configuration.endswith("-l")
+        uses_wormhole = configuration.endswith("+wh")
+        report[configuration] = {
+            "checkpoint_bits": checkpoint_bits,
+            "requires_inflight_window_search": uses_local_history or uses_wormhole,
+            "reason": (
+                "local histories (and WH per-entry histories) must be read from "
+                "the window of in-flight branches on every fetch"
+                if uses_local_history or uses_wormhole
+                else "checkpointing history pointers, the IMLI counter and the "
+                "PIPE vector is sufficient"
+            ),
+        }
+    return report

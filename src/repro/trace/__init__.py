@@ -1,0 +1,29 @@
+"""Branch trace model.
+
+The experimental framework of the paper is trace driven (Section 3): a
+stream of dynamic branch records is replayed through the predictors under
+test.  This package defines that stream:
+
+* :mod:`repro.trace.branch` -- the :class:`~repro.trace.branch.BranchRecord`
+  dataclass describing one dynamic branch (PC, target, kind, outcome).
+* :mod:`repro.trace.trace` -- the :class:`~repro.trace.trace.Trace`
+  container plus a compact text serialisation so traces can be stored and
+  re-used between runs.
+* :mod:`repro.trace.stats` -- descriptive statistics of a trace
+  (branch/instruction counts, taken rates, per-PC footprints).
+"""
+
+from repro.trace.branch import BranchKind, BranchRecord, conditional_branch
+from repro.trace.stats import TraceStatistics, compute_statistics
+from repro.trace.trace import Trace, load_trace, save_trace
+
+__all__ = [
+    "BranchKind",
+    "BranchRecord",
+    "Trace",
+    "TraceStatistics",
+    "compute_statistics",
+    "conditional_branch",
+    "load_trace",
+    "save_trace",
+]

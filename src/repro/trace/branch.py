@@ -1,0 +1,101 @@
+"""Dynamic branch records.
+
+A trace is a sequence of :class:`BranchRecord` objects, one per dynamic
+branch instruction, in program order.  The fields mirror what the CBP
+championship trace format exposes to a predictor: the branch PC, its
+target, the kind of branch (conditional, unconditional direct, indirect,
+call, return) and -- for conditional branches -- the resolved outcome.
+
+Predictors are only asked to predict *conditional* branches, but the other
+kinds still appear in the trace because path history and the IMLI counter
+heuristic (``target < pc`` means a backward branch) observe them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["BranchKind", "BranchRecord", "conditional_branch"]
+
+
+class BranchKind(Enum):
+    """The kind of a dynamic branch instruction."""
+
+    CONDITIONAL = "cond"
+    UNCONDITIONAL = "uncond"
+    CALL = "call"
+    RETURN = "ret"
+    INDIRECT = "ind"
+
+    @property
+    def is_conditional(self) -> bool:
+        """``True`` only for direct conditional branches."""
+        return self is BranchKind.CONDITIONAL
+
+
+@dataclass(frozen=True)
+class BranchRecord:
+    """One dynamic branch in a trace.
+
+    Attributes
+    ----------
+    pc:
+        Address of the branch instruction.
+    target:
+        Address of the taken target.  For conditional branches the
+        fall-through address is implicitly ``pc + 1`` (instruction
+        addresses in synthetic traces are abstract, not byte addresses).
+    taken:
+        Resolved direction.  Unconditional branches, calls, returns and
+        indirect jumps are always taken.
+    kind:
+        The :class:`BranchKind` of the instruction.
+    instruction_gap:
+        Number of non-branch instructions executed since the previous
+        branch record.  The simulator sums these gaps (plus one per branch)
+        to obtain the instruction count used by the MPKI metric.
+    """
+
+    pc: int
+    target: int
+    taken: bool
+    kind: BranchKind = BranchKind.CONDITIONAL
+    instruction_gap: int = 4
+
+    def __post_init__(self) -> None:
+        if self.pc < 0:
+            raise ValueError(f"branch pc must be non-negative, got {self.pc}")
+        if self.target < 0:
+            raise ValueError(f"branch target must be non-negative, got {self.target}")
+        if self.instruction_gap < 0:
+            raise ValueError(
+                f"instruction gap must be non-negative, got {self.instruction_gap}"
+            )
+        if not self.kind.is_conditional and not self.taken:
+            raise ValueError(f"{self.kind.value} branches are always taken")
+
+    @property
+    def is_conditional(self) -> bool:
+        """``True`` when the record is a direct conditional branch."""
+        return self.kind.is_conditional
+
+    @property
+    def is_backward(self) -> bool:
+        """``True`` when the taken target precedes the branch.
+
+        Backward conditional branches are treated as loop-exit branches by
+        the IMLI counter heuristic (Section 4.1 of the paper).
+        """
+        return self.target < self.pc
+
+
+def conditional_branch(pc: int, target: int, taken: bool, instruction_gap: int = 4) -> BranchRecord:
+    """Convenience constructor for a direct conditional branch record."""
+    return BranchRecord(
+        pc=pc,
+        target=target,
+        taken=taken,
+        kind=BranchKind.CONDITIONAL,
+        instruction_gap=instruction_gap,
+    )

@@ -1,0 +1,149 @@
+"""Trace container and serialisation.
+
+A :class:`Trace` is an in-memory, ordered collection of
+:class:`~repro.trace.branch.BranchRecord` objects together with a name and
+free-form metadata describing how it was generated.  Traces are the unit of
+work for the simulator (:mod:`repro.sim.engine`) and the unit of naming in
+the benchmark suites (:mod:`repro.workloads.suites`).
+
+The on-disk format is a small line-oriented text format (one record per
+line) chosen for debuggability; synthetic traces are cheap to regenerate so
+compactness is not a priority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Sequence
+
+from repro.trace.branch import BranchKind, BranchRecord
+
+__all__ = ["Trace", "save_trace", "load_trace"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class Trace:
+    """An ordered sequence of dynamic branch records.
+
+    Attributes
+    ----------
+    name:
+        Human-readable benchmark name, e.g. ``"SPEC2K6-12"``.
+    records:
+        The dynamic branches in program order.
+    metadata:
+        Free-form generator parameters (kernel name, seed, sizes) recorded
+        for reproducibility.
+    """
+
+    name: str
+    records: List[BranchRecord] = field(default_factory=list)
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[BranchRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> BranchRecord:
+        return self.records[index]
+
+    def append(self, record: BranchRecord) -> None:
+        """Append one dynamic branch to the trace."""
+        self.records.append(record)
+
+    def extend(self, records: Iterable[BranchRecord]) -> None:
+        """Append several dynamic branches to the trace."""
+        self.records.extend(records)
+
+    @property
+    def conditional_count(self) -> int:
+        """Number of conditional branch records in the trace."""
+        return sum(1 for record in self.records if record.is_conditional)
+
+    @property
+    def instruction_count(self) -> int:
+        """Total instructions represented by the trace.
+
+        Every branch counts as one instruction plus its ``instruction_gap``
+        of preceding non-branch instructions.
+        """
+        return sum(record.instruction_gap + 1 for record in self.records)
+
+    def static_branches(self) -> Dict[int, int]:
+        """Map of conditional branch PC to dynamic execution count."""
+        counts: Dict[int, int] = {}
+        for record in self.records:
+            if record.is_conditional:
+                counts[record.pc] = counts.get(record.pc, 0) + 1
+        return counts
+
+    def slice(self, start: int, stop: int | None = None) -> "Trace":
+        """Return a new trace containing records ``start:stop``."""
+        return Trace(
+            name=self.name,
+            records=self.records[start:stop],
+            metadata=dict(self.metadata),
+        )
+
+    def taken_rate(self) -> float:
+        """Fraction of conditional branches that are taken."""
+        conditional = [record for record in self.records if record.is_conditional]
+        if not conditional:
+            return 0.0
+        return sum(record.taken for record in conditional) / len(conditional)
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Write ``trace`` to ``path`` in the library's text format."""
+    path = Path(path)
+    lines = [f"# repro-trace v{_FORMAT_VERSION}", f"# name: {trace.name}"]
+    for key, value in sorted(trace.metadata.items()):
+        lines.append(f"# meta: {key}={value}")
+    for record in trace.records:
+        lines.append(
+            f"{record.pc} {record.target} {int(record.taken)} "
+            f"{record.kind.value} {record.instruction_gap}"
+        )
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def _parse_record(fields: Sequence[str], line_number: int) -> BranchRecord:
+    if len(fields) != 5:
+        raise ValueError(f"line {line_number}: expected 5 fields, got {len(fields)}")
+    pc, target, taken, kind, gap = fields
+    return BranchRecord(
+        pc=int(pc),
+        target=int(target),
+        taken=bool(int(taken)),
+        kind=BranchKind(kind),
+        instruction_gap=int(gap),
+    )
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    path = Path(path)
+    name = path.stem
+    metadata: Dict[str, str] = {}
+    records: List[BranchRecord] = []
+    for line_number, raw_line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            body = line.lstrip("#").strip()
+            if body.startswith("name:"):
+                name = body[len("name:"):].strip()
+            elif body.startswith("meta:"):
+                key, _, value = body[len("meta:"):].strip().partition("=")
+                metadata[key.strip()] = value.strip()
+            continue
+        records.append(_parse_record(line.split(), line_number))
+    return Trace(name=name, records=records, metadata=metadata)

@@ -1,0 +1,127 @@
+"""Emission of branch records with stable synthetic program counters.
+
+Workload kernels describe programs ("for each row, for each column, test a
+condition ...").  The :class:`KernelEmitter` turns the control-flow events
+of such a program into :class:`~repro.trace.branch.BranchRecord` objects
+with *stable* PCs: every distinct ``label`` string used by a kernel maps to
+one synthetic instruction address, so that the same static branch always
+shows up at the same PC, just like in a real trace.
+
+Backward conditional branches (loop back-edges) receive a target below
+their own PC, which is what the IMLI heuristic and the loop predictor key
+on.  Forward branches receive a target above their own PC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.trace.branch import BranchKind, BranchRecord
+
+__all__ = ["KernelEmitter"]
+
+# Synthetic instruction addresses are spaced widely apart so that hashed
+# predictor indices do not collide in degenerate ways for tiny programs.
+_PC_STRIDE = 64
+_FORWARD_TARGET_OFFSET = 24
+_BACKWARD_TARGET_OFFSET = 40
+
+
+class KernelEmitter:
+    """Collects branch records emitted by workload kernels.
+
+    Parameters
+    ----------
+    base_pc:
+        First synthetic instruction address handed out.  Different kernels
+        inside one benchmark use different ``base_pc`` values so their
+        static branches do not alias.
+    instruction_gap:
+        Number of non-branch instructions assumed between consecutive
+        branches (feeds the MPKI denominator).
+    """
+
+    def __init__(self, base_pc: int = 0x10000, instruction_gap: int = 4) -> None:
+        if base_pc < 0:
+            raise ValueError(f"base pc must be non-negative, got {base_pc}")
+        if instruction_gap < 0:
+            raise ValueError(
+                f"instruction gap must be non-negative, got {instruction_gap}"
+            )
+        self.base_pc = base_pc
+        self.instruction_gap = instruction_gap
+        self.records: List[BranchRecord] = []
+        self._pcs: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def pc_for(self, label: str) -> int:
+        """Return (allocating if needed) the PC associated with ``label``."""
+        pc = self._pcs.get(label)
+        if pc is None:
+            pc = self.base_pc + len(self._pcs) * _PC_STRIDE
+            self._pcs[label] = pc
+        return pc
+
+    def branch(self, label: str, taken: bool) -> None:
+        """Emit a forward conditional branch (an ``if`` test)."""
+        pc = self.pc_for(label)
+        self.records.append(
+            BranchRecord(
+                pc=pc,
+                target=pc + _FORWARD_TARGET_OFFSET,
+                taken=taken,
+                kind=BranchKind.CONDITIONAL,
+                instruction_gap=self.instruction_gap,
+            )
+        )
+
+    def loop_branch(self, label: str, taken: bool) -> None:
+        """Emit a backward conditional branch (a loop back-edge).
+
+        ``taken`` means the loop continues for another iteration; a
+        not-taken outcome is the loop exit.
+        """
+        pc = self.pc_for(label)
+        self.records.append(
+            BranchRecord(
+                pc=pc,
+                target=max(pc - _BACKWARD_TARGET_OFFSET, 0),
+                taken=taken,
+                kind=BranchKind.CONDITIONAL,
+                instruction_gap=self.instruction_gap,
+            )
+        )
+
+    def call(self, label: str) -> None:
+        """Emit an always-taken call instruction."""
+        pc = self.pc_for(label)
+        self.records.append(
+            BranchRecord(
+                pc=pc,
+                target=pc + _FORWARD_TARGET_OFFSET,
+                taken=True,
+                kind=BranchKind.CALL,
+                instruction_gap=self.instruction_gap,
+            )
+        )
+
+    def jump(self, label: str) -> None:
+        """Emit an always-taken unconditional direct jump."""
+        pc = self.pc_for(label)
+        self.records.append(
+            BranchRecord(
+                pc=pc,
+                target=pc + _FORWARD_TARGET_OFFSET,
+                taken=True,
+                kind=BranchKind.UNCONDITIONAL,
+                instruction_gap=self.instruction_gap,
+            )
+        )
+
+    def drain(self) -> List[BranchRecord]:
+        """Return and clear the accumulated records."""
+        records = self.records
+        self.records = []
+        return records

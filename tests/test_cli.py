@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.trace.trace import load_trace
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_rejects_unknown_suite(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--suite", "cbp5like"])
+
+
+class TestCommands:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "cbp4like" in output
+        assert "tage-gsc+imli" in output
+        assert "table1" in output
+
+    def test_simulate_command(self, capsys):
+        exit_code = main([
+            "simulate", "--suite", "cbp4like", "--benchmarks", "SPEC2K6-00",
+            "--configurations", "tage-gsc,tage-gsc+imli",
+            "--length", "400", "--profile", "small",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "SPEC2K6-00" in output
+        assert "AVERAGE" in output
+        assert "tage-gsc+imli" in output
+
+    def test_simulate_rejects_empty_configurations(self, capsys):
+        assert main([
+            "simulate", "--configurations", ",", "--length", "300",
+        ]) == 2
+
+    def test_experiment_command(self, capsys):
+        exit_code = main([
+            "experiment", "base-predictors",
+            "--benchmarks", "SPEC2K6-00,INT01", "--length", "400",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "base-predictors" in output
+        assert "Paper reference values" in output
+
+    def test_trace_command(self, tmp_path, capsys):
+        output_path = tmp_path / "mm4.trace"
+        exit_code = main([
+            "trace", "--suite", "cbp4like", "--benchmark", "MM-4",
+            "--length", "300", "--output", str(output_path),
+        ])
+        assert exit_code == 0
+        trace = load_trace(output_path)
+        assert trace.name == "MM-4"
+        assert trace.conditional_count >= 300
+
+    def test_trace_unknown_benchmark(self, tmp_path):
+        exit_code = main([
+            "trace", "--benchmark", "NOPE", "--output", str(tmp_path / "x"),
+        ])
+        assert exit_code == 2

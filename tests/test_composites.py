@@ -1,0 +1,151 @@
+"""Tests for the composite predictor configurations (repro.predictors.composites)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.predictors.base import BranchPredictor
+from repro.predictors.composites import (
+    CONFIGURATIONS,
+    CompositeOptions,
+    SidecarPredictor,
+    build,
+    build_named,
+    configuration_names,
+    factory,
+)
+from repro.sim.engine import simulate
+from repro.trace.branch import conditional_branch
+
+
+EXPECTED_CONFIGURATIONS = {
+    "tage-gsc", "tage-gsc+sic", "tage-gsc+oh", "tage-gsc+imli",
+    "tage-gsc+l", "tage-gsc+imli+l", "tage-gsc+loop", "tage-gsc+sic+loop",
+    "tage-gsc+wh", "tage-gsc+sic+wh",
+    "gehl", "gehl+sic", "gehl+oh", "gehl+imli",
+    "gehl+l", "gehl+imli+l", "gehl+loop", "gehl+sic+loop",
+    "gehl+wh", "gehl+sic+wh",
+    "tage-sc-l", "tage-sc-l+imli",
+}
+
+
+class TestConfigurationRegistry:
+    def test_registry_contains_every_paper_configuration(self):
+        assert EXPECTED_CONFIGURATIONS <= set(configuration_names())
+
+    def test_labels_match_options(self):
+        assert CONFIGURATIONS["tage-gsc+imli"].label() == "tage-gsc+imli"
+        assert CONFIGURATIONS["gehl+l"].label() == "gehl+l"
+        assert CONFIGURATIONS["tage-gsc+sic+wh"].label() == "tage-gsc+sic+wh"
+        assert CONFIGURATIONS["tage-gsc+loop"].label() == "tage-gsc+loop"
+
+    def test_build_named_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            build_named("tage-gsc+nonsense")
+
+    def test_build_unknown_profile_rejected(self):
+        with pytest.raises(KeyError):
+            build(CompositeOptions(), profile="gigantic")
+
+    def test_build_unknown_base_rejected(self):
+        with pytest.raises(ValueError):
+            build(CompositeOptions(base="neural-turing-machine"), profile="small")
+
+    def test_every_registered_configuration_builds_small(self):
+        for name in configuration_names():
+            predictor = build_named(name, profile="small")
+            assert isinstance(predictor, BranchPredictor)
+            assert predictor.name == name
+            assert predictor.storage_bits() > 0
+
+    def test_factory_builds_fresh_instances(self):
+        make = factory("tage-gsc+imli", profile="small")
+        first, second = make(), make()
+        assert first is not second
+        assert first.name == second.name == "tage-gsc+imli"
+
+
+class TestStorageOrdering:
+    def test_imli_adds_little_storage(self):
+        base = build_named("tage-gsc", profile="small").storage_bits()
+        imli = build_named("tage-gsc+imli", profile="small").storage_bits()
+        local = build_named("tage-gsc+l", profile="small").storage_bits()
+        assert base < imli < local
+
+    def test_combined_configuration_is_largest(self):
+        imli_local = build_named("tage-gsc+imli+l", profile="small").storage_bits()
+        local = build_named("tage-gsc+l", profile="small").storage_bits()
+        assert imli_local > local
+
+    def test_tage_sc_l_aliases_local_configuration(self):
+        assert (
+            build_named("tage-sc-l", profile="small").storage_bits()
+            == build_named("tage-gsc+l", profile="small").storage_bits()
+        )
+
+
+class TestSidecarPredictor:
+    def test_wraps_predictions_and_updates(self, easy_trace):
+        predictor = build_named("tage-gsc+l", profile="small")
+        assert isinstance(predictor, SidecarPredictor)
+        result = simulate(predictor, easy_trace)
+        assert result.conditional_branches == easy_trace.conditional_count
+
+    def test_wormhole_configuration_has_inactive_loop_prediction(self):
+        predictor = build_named("tage-gsc+wh", profile="small")
+        assert isinstance(predictor, SidecarPredictor)
+        assert predictor.wormhole is not None
+        assert predictor.loop_predictor is not None
+        assert predictor.use_loop_prediction is False
+
+    def test_local_configuration_uses_loop_prediction(self):
+        predictor = build_named("tage-gsc+l", profile="small")
+        assert predictor.use_loop_prediction is True
+        assert predictor.wormhole is None
+
+    def test_plain_configurations_are_not_wrapped(self):
+        assert not isinstance(build_named("tage-gsc", profile="small"), SidecarPredictor)
+        assert not isinstance(build_named("gehl+imli", profile="small"), SidecarPredictor)
+
+    def test_observe_unconditional_passthrough(self):
+        from repro.trace.branch import BranchKind, BranchRecord
+
+        predictor = build_named("gehl+l", profile="small")
+        predictor.observe_unconditional(
+            BranchRecord(pc=0x10, target=0x20, taken=True, kind=BranchKind.CALL)
+        )  # must not raise
+
+    def test_prediction_update_cycle(self):
+        predictor = build_named("tage-gsc+imli+l", profile="small")
+        record = conditional_branch(0x123, 0x140, taken=True)
+        prediction = predictor.predict(record)
+        predictor.update(record, prediction)  # must not raise
+
+
+class TestOptionalFeatures:
+    def test_imli_hashed_global_tables_option(self):
+        options = CompositeOptions(base="tage-gsc", imli_sic=True, imli_global_tables=2)
+        predictor = build(options, profile="small")
+        record = conditional_branch(0x123, 0x140, taken=True)
+        prediction = predictor.predict(record)
+        predictor.update(record, prediction)
+        assert predictor.storage_bits() > build_named("tage-gsc+sic", profile="small").storage_bits()
+
+    def test_imli_hashed_global_tables_on_gehl(self):
+        options = CompositeOptions(base="gehl", imli_global_tables=1)
+        predictor = build(options, profile="small")
+        record = conditional_branch(0x123, 0x140, taken=False)
+        prediction = predictor.predict(record)
+        predictor.update(record, prediction)
+
+    def test_oh_update_delay_option(self):
+        options = CompositeOptions(base="tage-gsc", imli_oh=True, oh_update_delay=63)
+        predictor = build(options, profile="small")
+        record = conditional_branch(0x123, 0x140, taken=True)
+        for _ in range(5):
+            prediction = predictor.predict(record)
+            predictor.update(record, prediction)
+
+    def test_default_profile_builds(self):
+        predictor = build_named("tage-gsc+imli", profile="default")
+        assert predictor.storage_bits() > build_named("tage-gsc+imli", profile="small").storage_bits()

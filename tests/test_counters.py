@@ -1,0 +1,193 @@
+"""Unit and property-based tests for repro.common.counters."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.counters import (
+    SaturatingCounter,
+    SignedCounterArray,
+    SignedSaturatingCounter,
+    UnsignedCounterArray,
+)
+
+
+class TestSaturatingCounter:
+    def test_initial_value_is_midpoint(self):
+        counter = SaturatingCounter(2)
+        assert counter.value == 2
+        assert counter.predict() is True
+
+    def test_explicit_initial_value(self):
+        assert SaturatingCounter(3, initial=1).value == 1
+
+    def test_saturates_high(self):
+        counter = SaturatingCounter(2, initial=3)
+        counter.update(True)
+        assert counter.value == 3
+        assert counter.is_saturated()
+
+    def test_saturates_low(self):
+        counter = SaturatingCounter(2, initial=0)
+        counter.update(False)
+        assert counter.value == 0
+        assert counter.is_saturated()
+
+    def test_prediction_threshold(self):
+        counter = SaturatingCounter(2, initial=1)
+        assert counter.predict() is False
+        counter.update(True)
+        assert counter.predict() is True
+
+    def test_reset(self):
+        counter = SaturatingCounter(2, initial=3)
+        counter.reset()
+        assert counter.value == counter.midpoint
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(0)
+
+    def test_invalid_initial(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(2, initial=4)
+
+    @given(st.lists(st.booleans(), max_size=200), st.integers(min_value=1, max_value=6))
+    def test_counter_always_in_range(self, outcomes, bits):
+        counter = SaturatingCounter(bits)
+        for outcome in outcomes:
+            counter.update(outcome)
+            assert 0 <= counter.value <= counter.maximum
+
+
+class TestSignedSaturatingCounter:
+    def test_initial_prediction_is_taken(self):
+        assert SignedSaturatingCounter(3).predict() is True
+
+    def test_range(self):
+        counter = SignedSaturatingCounter(3)
+        assert counter.minimum == -4
+        assert counter.maximum == 3
+
+    def test_saturation_both_ends(self):
+        counter = SignedSaturatingCounter(3)
+        for _ in range(10):
+            counter.update(True)
+        assert counter.value == 3
+        for _ in range(20):
+            counter.update(False)
+        assert counter.value == -4
+        assert counter.is_saturated()
+
+    def test_invalid_initial(self):
+        with pytest.raises(ValueError):
+            SignedSaturatingCounter(3, initial=10)
+
+    @given(st.lists(st.booleans(), max_size=200), st.integers(min_value=2, max_value=8))
+    def test_signed_counter_always_in_range(self, outcomes, bits):
+        counter = SignedSaturatingCounter(bits)
+        for outcome in outcomes:
+            counter.update(outcome)
+            assert counter.minimum <= counter.value <= counter.maximum
+
+
+class TestUnsignedCounterArray:
+    def test_length_and_init(self):
+        array = UnsignedCounterArray(8, 2)
+        assert len(array) == 8
+        assert all(value == 2 for value in array)
+
+    def test_update_and_predict(self):
+        array = UnsignedCounterArray(4, 2, initial=0)
+        assert array.predict(1) is False
+        array.update(1, True)
+        array.update(1, True)
+        assert array.predict(1) is True
+        assert array[1] == 2
+
+    def test_confidence(self):
+        array = UnsignedCounterArray(4, 2, initial=0)
+        assert array.confidence(0) == 1  # strongly not taken
+        array.set(0, 2)
+        assert array.confidence(0) == 0  # weakly taken
+
+    def test_set_clamps(self):
+        array = UnsignedCounterArray(4, 2)
+        array.set(0, 99)
+        assert array[0] == 3
+        array.set(0, -5)
+        assert array[0] == 0
+
+    def test_reset(self):
+        array = UnsignedCounterArray(4, 2, initial=3)
+        array.reset(0)
+        assert all(value == 0 for value in array)
+
+    def test_storage_bits(self):
+        assert UnsignedCounterArray(1024, 2).storage_bits() == 2048
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            UnsignedCounterArray(0, 2)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=15), st.booleans()), max_size=200
+        )
+    )
+    def test_array_counters_stay_in_range(self, updates):
+        array = UnsignedCounterArray(16, 3)
+        for index, taken in updates:
+            array.update(index, taken)
+            assert 0 <= array[index] <= array.maximum
+
+
+class TestSignedCounterArray:
+    def test_initial_zero(self):
+        array = SignedCounterArray(8, 6)
+        assert all(value == 0 for value in array)
+        assert array.predict(0) is True
+
+    def test_update_toward_not_taken(self):
+        array = SignedCounterArray(8, 6)
+        array.update(3, False)
+        assert array[3] == -1
+        assert array.predict(3) is False
+
+    def test_set_clamps(self):
+        array = SignedCounterArray(4, 4)
+        array.set(0, 100)
+        assert array[0] == 7
+        array.set(0, -100)
+        assert array[0] == -8
+
+    def test_reset_value(self):
+        array = SignedCounterArray(4, 4)
+        array.reset(3)
+        assert all(value == 3 for value in array)
+
+    def test_storage_bits(self):
+        assert SignedCounterArray(512, 6).storage_bits() == 3072
+
+    def test_invalid_initial(self):
+        with pytest.raises(ValueError):
+            SignedCounterArray(4, 4, initial=100)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=7), st.booleans()), max_size=300
+        )
+    )
+    def test_signed_array_counters_stay_in_range(self, updates):
+        array = SignedCounterArray(8, 5)
+        for index, taken in updates:
+            array.update(index, taken)
+            assert array.minimum <= array[index] <= array.maximum
+
+    @given(st.integers(min_value=1, max_value=40))
+    def test_saturation_after_many_updates(self, count):
+        array = SignedCounterArray(2, 4)
+        for _ in range(count):
+            array.update(0, True)
+        assert array[0] == min(count, array.maximum)

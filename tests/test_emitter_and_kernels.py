@@ -1,0 +1,308 @@
+"""Tests for the workload emitter and the synthetic kernels.
+
+The kernel tests verify the *correlation structure* each kernel promises
+(module docstring of :mod:`repro.workloads.kernels`): those invariants are
+what the predictors under test are supposed to exploit, so they must hold
+exactly.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+
+from repro.trace.branch import BranchKind
+from repro.workloads.emitter import KernelEmitter
+from repro.workloads.kernels import (
+    AlternatingOuterKernel,
+    BiasedMixKernel,
+    GlobalCorrelatedKernel,
+    LocalPeriodicKernel,
+    LoopExitKernel,
+    NoiseKernel,
+    SameIterationKernel,
+    WormholeDiagonalKernel,
+    build_kernel,
+    KERNEL_NAMES,
+)
+
+
+class TestKernelEmitter:
+    def test_stable_pcs_per_label(self):
+        emitter = KernelEmitter()
+        emitter.branch("a", True)
+        emitter.branch("b", False)
+        emitter.branch("a", False)
+        records = emitter.drain()
+        assert records[0].pc == records[2].pc
+        assert records[0].pc != records[1].pc
+
+    def test_forward_branch_targets(self):
+        emitter = KernelEmitter()
+        emitter.branch("fwd", True)
+        record = emitter.drain()[0]
+        assert record.target > record.pc
+        assert not record.is_backward
+
+    def test_loop_branch_is_backward(self):
+        emitter = KernelEmitter()
+        emitter.loop_branch("loop", True)
+        record = emitter.drain()[0]
+        assert record.is_backward
+        assert record.is_conditional
+
+    def test_call_and_jump_kinds(self):
+        emitter = KernelEmitter()
+        emitter.call("c")
+        emitter.jump("j")
+        records = emitter.drain()
+        assert records[0].kind is BranchKind.CALL
+        assert records[1].kind is BranchKind.UNCONDITIONAL
+        assert all(record.taken for record in records)
+
+    def test_drain_clears(self):
+        emitter = KernelEmitter()
+        emitter.branch("a", True)
+        assert len(emitter.drain()) == 1
+        assert len(emitter.drain()) == 0
+
+    def test_instruction_gap_propagates(self):
+        emitter = KernelEmitter(instruction_gap=7)
+        emitter.branch("a", True)
+        assert emitter.drain()[0].instruction_gap == 7
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            KernelEmitter(base_pc=-1)
+        with pytest.raises(ValueError):
+            KernelEmitter(instruction_gap=-1)
+
+
+def _target_outcomes_by_iteration(records, target_pc, backward_pcs):
+    """Group the target branch's outcomes by (outer, inner) position.
+
+    The inner iteration index is recovered by counting executions of the
+    inner loop back-edge; the outer index by counting its not-taken exits.
+    """
+    outcomes = defaultdict(dict)
+    inner = 0
+    outer = 0
+    for record in records:
+        if record.pc == target_pc:
+            outcomes[outer][inner] = record.taken
+        elif record.pc in backward_pcs:
+            if record.taken:
+                inner += 1
+            else:
+                inner = 0
+                outer += 1
+    return outcomes
+
+
+class TestSameIterationKernel:
+    def _emit(self, variable_trip):
+        kernel = SameIterationKernel(
+            seed=3, max_trip=12, outer_iterations=6, variable_trip=variable_trip,
+            noise_branches=1,
+        )
+        emitter = KernelEmitter()
+        kernel.emit_round(emitter)
+        kernel.emit_round(emitter)
+        return kernel, emitter.drain(), emitter
+
+    def test_same_iteration_invariant(self):
+        """Out[N][M] must equal pattern[M] for every outer iteration N."""
+        kernel, records, emitter = self._emit(variable_trip=True)
+        target_pc = emitter.pc_for(kernel._label("target"))
+        inner_back = emitter.pc_for(kernel._label("inner_back"))
+        inner = 0
+        for record in records:
+            if record.pc == target_pc:
+                assert record.taken == kernel.pattern[inner]
+            elif record.pc == inner_back:
+                inner = inner + 1 if record.taken else 0
+
+    def test_variable_trip_counts_vary(self):
+        kernel, records, emitter = self._emit(variable_trip=True)
+        inner_back = emitter.pc_for(kernel._label("inner_back"))
+        trips = []
+        count = 0
+        for record in records:
+            if record.pc == inner_back:
+                if record.taken:
+                    count += 1
+                else:
+                    trips.append(count + 1)
+                    count = 0
+        assert len(set(trips)) > 1
+
+    def test_constant_trip_counts(self):
+        kernel, records, emitter = self._emit(variable_trip=False)
+        inner_back = emitter.pc_for(kernel._label("inner_back"))
+        trips = []
+        count = 0
+        for record in records:
+            if record.pc == inner_back:
+                if record.taken:
+                    count += 1
+                else:
+                    trips.append(count + 1)
+                    count = 0
+        assert set(trips) == {kernel.max_trip}
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SameIterationKernel(seed=1, max_trip=2)
+        with pytest.raises(ValueError):
+            SameIterationKernel(seed=1, outer_iterations=0)
+
+
+class TestWormholeDiagonalKernel:
+    def test_diagonal_invariant(self):
+        """Out[N][M] must equal Out[N-1][M-1] for M >= 1."""
+        kernel = WormholeDiagonalKernel(seed=5, trip=10, outer_iterations=8, noise_branches=1)
+        emitter = KernelEmitter()
+        kernel.emit_round(emitter)
+        records = emitter.drain()
+        target_pc = emitter.pc_for(kernel._label("target"))
+        inner_back = emitter.pc_for(kernel._label("inner_back"))
+        outcomes = _target_outcomes_by_iteration(records, target_pc, {inner_back})
+        for outer in range(1, 8):
+            for inner in range(1, 10):
+                assert outcomes[outer][inner] == outcomes[outer - 1][inner - 1]
+
+    def test_constant_trip(self):
+        kernel = WormholeDiagonalKernel(seed=5, trip=10, outer_iterations=4)
+        emitter = KernelEmitter()
+        kernel.emit_round(emitter)
+        target_pc = emitter.pc_for(kernel._label("target"))
+        count = sum(1 for record in emitter.records if record.pc == target_pc)
+        assert count == 10 * 4
+
+    def test_invalid_trip(self):
+        with pytest.raises(ValueError):
+            WormholeDiagonalKernel(seed=1, trip=2)
+
+
+class TestAlternatingOuterKernel:
+    def test_alternation_invariant(self):
+        """Out[N][M] must equal NOT Out[N-1][M]."""
+        kernel = AlternatingOuterKernel(seed=9, trip=8, outer_iterations=6, noise_branches=1)
+        emitter = KernelEmitter()
+        kernel.emit_round(emitter)
+        records = emitter.drain()
+        target_pc = emitter.pc_for(kernel._label("target"))
+        inner_back = emitter.pc_for(kernel._label("inner_back"))
+        outcomes = _target_outcomes_by_iteration(records, target_pc, {inner_back})
+        for outer in range(1, 6):
+            for inner in range(8):
+                assert outcomes[outer][inner] == (not outcomes[outer - 1][inner])
+
+
+class TestLocalPeriodicKernel:
+    def test_target_outcomes_are_periodic(self):
+        kernel = LocalPeriodicKernel(
+            seed=21, branch_count=2, period=5, iterations_per_round=20, noise_branches=1
+        )
+        emitter = KernelEmitter()
+        kernel.emit_round(emitter)
+        records = emitter.drain()
+        for branch_index in range(2):
+            target_pc = emitter.pc_for(kernel._label(f"target{branch_index}"))
+            outcomes = [record.taken for record in records if record.pc == target_pc]
+            for position, outcome in enumerate(outcomes):
+                assert outcome == outcomes[position % 5]
+
+    def test_patterns_are_not_degenerate(self):
+        kernel = LocalPeriodicKernel(seed=3, branch_count=8, period=4)
+        for pattern in kernel.patterns:
+            assert any(pattern) and not all(pattern)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LocalPeriodicKernel(seed=1, branch_count=0)
+        with pytest.raises(ValueError):
+            LocalPeriodicKernel(seed=1, period=1)
+
+
+class TestLoopExitKernel:
+    def test_loop_trip_count_is_constant(self):
+        kernel = LoopExitKernel(seed=2, trip=12, executions_per_round=5, noise_branches=1)
+        emitter = KernelEmitter()
+        kernel.emit_round(emitter)
+        back_pc = emitter.pc_for(kernel._label("back"))
+        trips = []
+        count = 0
+        for record in emitter.records:
+            if record.pc == back_pc:
+                if record.taken:
+                    count += 1
+                else:
+                    trips.append(count + 1)
+                    count = 0
+        assert trips == [12] * 5
+
+
+class TestStatisticalKernels:
+    def test_global_correlated_sinks_are_deterministic(self):
+        kernel = GlobalCorrelatedKernel(seed=4, depth=2, sink_count=3, groups_per_round=30)
+        emitter = KernelEmitter()
+        kernel.emit_round(emitter)
+        records = emitter.drain()
+        source_pcs = [emitter.pc_for(kernel._label(f"source{i}")) for i in range(2)]
+        sink0_pc = emitter.pc_for(kernel._label("sink0"))
+        sources = []
+        for record in records:
+            if record.pc in source_pcs:
+                sources.append(record.taken)
+            elif record.pc == sink0_pc:
+                assert record.taken == (sources[-2] ^ sources[-1])
+
+    def test_biased_mix_respects_bias_floor(self):
+        kernel = BiasedMixKernel(seed=6, branch_count=10, executions_per_round=200, minimum_bias=0.9)
+        emitter = KernelEmitter()
+        kernel.emit_round(emitter)
+        by_pc = defaultdict(list)
+        for record in emitter.records:
+            by_pc[record.pc].append(record.taken)
+        for outcomes in by_pc.values():
+            rate = sum(outcomes) / len(outcomes)
+            assert rate >= 0.8 or rate <= 0.2
+
+    def test_noise_kernel_branch_count(self):
+        kernel = NoiseKernel(seed=8, branch_count=4, executions_per_round=10)
+        emitter = KernelEmitter()
+        kernel.emit_round(emitter)
+        assert len({record.pc for record in emitter.records}) == 4
+        assert len(emitter.records) == 40
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GlobalCorrelatedKernel(seed=1, depth=0)
+        with pytest.raises(ValueError):
+            NoiseKernel(seed=1, taken_probability=1.5)
+        with pytest.raises(ValueError):
+            BiasedMixKernel(seed=1, minimum_bias=0.3)
+
+
+class TestKernelRegistry:
+    def test_build_every_registered_kernel(self):
+        for name in KERNEL_NAMES:
+            kernel = build_kernel(name, seed=1)
+            emitter = KernelEmitter()
+            kernel.emit_round(emitter)
+            assert len(emitter.records) > 0
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(KeyError):
+            build_kernel("does-not-exist", seed=1)
+
+    def test_determinism_per_seed(self):
+        for name in KERNEL_NAMES:
+            first = build_kernel(name, seed=42)
+            second = build_kernel(name, seed=42)
+            emitter_a, emitter_b = KernelEmitter(), KernelEmitter()
+            first.emit_round(emitter_a)
+            second.emit_round(emitter_b)
+            assert emitter_a.records == emitter_b.records

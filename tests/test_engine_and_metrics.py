@@ -1,0 +1,159 @@
+"""Tests for the simulation engine, metrics and suite runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.predictors.simple import AlwaysTakenPredictor, BimodalPredictor
+from repro.sim.engine import SimulationResult, simulate
+from repro.sim.metrics import (
+    average_mpki,
+    most_affected,
+    most_improved,
+    mpki_by_trace,
+    mpki_delta,
+    mpki_reduction_percent,
+)
+from repro.sim.runner import SuiteRunner
+from repro.trace.branch import BranchKind, BranchRecord, conditional_branch
+from repro.trace.trace import Trace
+
+
+def _tiny_trace(name="tiny"):
+    trace = Trace(name=name)
+    for index in range(20):
+        trace.append(conditional_branch(0x100, 0x140, taken=index % 2 == 0, instruction_gap=9))
+    trace.append(BranchRecord(pc=0x200, target=0x240, taken=True, kind=BranchKind.CALL))
+    return trace
+
+
+class TestSimulate:
+    def test_counts_and_mpki(self):
+        trace = _tiny_trace()
+        result = simulate(AlwaysTakenPredictor(), trace)
+        assert result.conditional_branches == 20
+        assert result.mispredictions == 10
+        assert result.instructions == trace.instruction_count
+        assert result.mpki == pytest.approx(1000.0 * 10 / trace.instruction_count)
+        assert result.misprediction_rate == pytest.approx(0.5)
+        assert result.accuracy == pytest.approx(0.5)
+
+    def test_summary_mentions_names(self):
+        result = simulate(AlwaysTakenPredictor(), _tiny_trace("bench-x"))
+        assert "bench-x" in result.summary()
+        assert "always-taken" in result.summary()
+
+    def test_warmup_excludes_early_branches(self):
+        trace = _tiny_trace()
+        full = simulate(AlwaysTakenPredictor(), trace, warmup_fraction=0.0)
+        warm = simulate(AlwaysTakenPredictor(), trace, warmup_fraction=0.5)
+        assert warm.conditional_branches == 10
+        assert warm.mispredictions <= full.mispredictions
+
+    def test_invalid_warmup_rejected(self):
+        with pytest.raises(ValueError):
+            simulate(AlwaysTakenPredictor(), _tiny_trace(), warmup_fraction=1.0)
+
+    def test_per_pc_tracking(self):
+        result = simulate(AlwaysTakenPredictor(), _tiny_trace(), track_per_pc=True)
+        assert result.per_pc_mispredictions == {0x100: 10}
+
+    def test_empty_trace(self):
+        result = simulate(AlwaysTakenPredictor(), Trace(name="empty"))
+        assert result.mpki == 0.0
+        assert result.accuracy == 1.0
+
+    def test_storage_reported(self):
+        result = simulate(BimodalPredictor(entries=64), _tiny_trace())
+        assert result.storage_bits == 128
+
+
+class TestMetrics:
+    def _results(self):
+        return [
+            SimulationResult("a", "p", 1000, 10, 10000, 0),
+            SimulationResult("b", "p", 1000, 30, 10000, 0),
+        ]
+
+    def test_average_mpki(self):
+        assert average_mpki(self._results()) == pytest.approx((1.0 + 3.0) / 2)
+
+    def test_average_rejects_empty(self):
+        with pytest.raises(ValueError):
+            average_mpki([])
+
+    def test_mpki_by_trace(self):
+        assert mpki_by_trace(self._results()) == {"a": pytest.approx(1.0), "b": pytest.approx(3.0)}
+
+    def test_mpki_delta(self):
+        baseline = {"a": 2.0, "b": 3.0}
+        candidate = {"a": 1.5, "b": 3.5}
+        assert mpki_delta(baseline, candidate) == {"a": pytest.approx(0.5), "b": pytest.approx(-0.5)}
+
+    def test_mpki_delta_requires_same_traces(self):
+        with pytest.raises(ValueError):
+            mpki_delta({"a": 1.0}, {"b": 1.0})
+
+    def test_reduction_percent(self):
+        assert mpki_reduction_percent(2.0, 1.5) == pytest.approx(25.0)
+        assert mpki_reduction_percent(0.0, 1.0) == 0.0
+
+    def test_most_improved(self):
+        baseline = {"a": 2.0, "b": 3.0, "c": 1.0}
+        candidate = {"a": 1.0, "b": 2.9, "c": 1.0}
+        assert most_improved(baseline, candidate, 2) == [("a", pytest.approx(1.0)), ("b", pytest.approx(0.1))]
+
+    def test_most_affected(self):
+        baseline = {"a": 2.0, "b": 3.0, "c": 1.0}
+        candidates = [{"a": 1.0, "b": 3.0, "c": 1.0}, {"a": 2.0, "b": 3.4, "c": 1.0}]
+        assert most_affected(baseline, candidates, 2) == ["a", "b"]
+
+
+class TestSuiteRunner:
+    def _runner(self):
+        traces = [_tiny_trace("t1"), _tiny_trace("t2")]
+        return SuiteRunner(traces, profile="small")
+
+    def test_requires_traces(self):
+        with pytest.raises(ValueError):
+            SuiteRunner([])
+
+    def test_run_with_custom_factory(self):
+        runner = self._runner()
+        run = runner.run("always", factory=AlwaysTakenPredictor)
+        assert run.configuration == "always"
+        assert len(run.results) == 2
+        assert run.average_mpki > 0
+        assert run.mpki_by_trace().keys() == {"t1", "t2"}
+
+    def test_results_are_memoised(self):
+        runner = self._runner()
+        first = runner.run("always", factory=AlwaysTakenPredictor)
+        second = runner.run("always", factory=AlwaysTakenPredictor)
+        assert first is second
+
+    def test_invalidate(self):
+        runner = self._runner()
+        first = runner.run("always", factory=AlwaysTakenPredictor)
+        runner.invalidate("always")
+        second = runner.run("always", factory=AlwaysTakenPredictor)
+        assert first is not second
+
+    def test_run_many(self):
+        runner = self._runner()
+        runs = runner.run_many(
+            ["always", "bimodal"],
+            factories={"always": AlwaysTakenPredictor, "bimodal": BimodalPredictor},
+        )
+        assert set(runs) == {"always", "bimodal"}
+
+    def test_named_configuration_from_registry(self, easy_trace):
+        runner = SuiteRunner([easy_trace], profile="small")
+        run = runner.run("tage-gsc")
+        assert run.storage_bits > 0
+        assert run.result_for(easy_trace.name).trace_name == easy_trace.name
+        with pytest.raises(KeyError):
+            run.result_for("missing")
+
+    def test_trace_names(self):
+        assert self._runner().trace_names() == ["t1", "t2"]

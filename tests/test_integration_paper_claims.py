@@ -1,0 +1,119 @@
+"""Integration tests for the paper's headline claims, at test scale.
+
+These tests exercise complete predictor composites over the synthetic
+kernels and check the *qualitative* results of the paper:
+
+* IMLI-SIC captures same-iteration correlation that the base global-history
+  predictors miss, even when the inner trip count varies (where the
+  wormhole predictor is blind).
+* IMLI-OH captures the wormhole correlation (Out[N][M] ~ Out[N-1][M-1]),
+  like the WH predictor but without long per-branch local histories.
+* The IMLI components barely disturb benchmarks without such correlation.
+* Adding local history on top of IMLI buys less than adding it to the base.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.predictors.composites import build_named
+from repro.sim.engine import simulate
+from repro.sim.runner import SuiteRunner
+
+
+def _mpki(configuration, trace):
+    return simulate(build_named(configuration, profile="small"), trace).mpki
+
+
+class TestIMLISICClaims:
+    def test_sic_improves_same_iteration_kernel(self, sic_trace):
+        base = _mpki("tage-gsc", sic_trace)
+        sic = _mpki("tage-gsc+sic", sic_trace)
+        assert sic < base * 0.9
+
+    def test_sic_improves_gehl_too(self, sic_trace):
+        base = _mpki("gehl", sic_trace)
+        sic = _mpki("gehl+sic", sic_trace)
+        assert sic < base * 0.9
+
+    def test_wormhole_cannot_help_variable_trip_counts(self, sic_trace):
+        """The SIC kernel uses a varying trip count: WH stays silent (Section 4.2.2)."""
+        base = _mpki("tage-gsc", sic_trace)
+        wormhole = _mpki("tage-gsc+wh", sic_trace)
+        assert wormhole == pytest.approx(base, rel=0.05)
+
+    def test_sic_also_predicts_loop_exits(self, spec2k6_04_trace):
+        """Adding the loop predictor on top of IMLI-SIC brings little (Section 4.2.2)."""
+        base = _mpki("tage-gsc", spec2k6_04_trace)
+        loop_only = _mpki("tage-gsc+loop", spec2k6_04_trace)
+        sic = _mpki("tage-gsc+sic", spec2k6_04_trace)
+        sic_loop = _mpki("tage-gsc+sic+loop", spec2k6_04_trace)
+        benefit_without_sic = base - loop_only
+        benefit_with_sic = sic - sic_loop
+        assert benefit_with_sic <= benefit_without_sic + 0.2
+
+
+class TestIMLIOHClaims:
+    def test_oh_improves_wormhole_kernel(self, wormhole_trace):
+        base = _mpki("tage-gsc", wormhole_trace)
+        oh = _mpki("tage-gsc+oh", wormhole_trace)
+        assert oh < base * 0.85
+
+    def test_oh_matches_wormhole_predictor(self, wormhole_trace):
+        """IMLI-OH captures the same correlation as WH (Section 4.3)."""
+        wormhole = _mpki("tage-gsc+wh", wormhole_trace)
+        oh = _mpki("tage-gsc+oh", wormhole_trace)
+        base = _mpki("tage-gsc", wormhole_trace)
+        wh_gain = base - wormhole
+        oh_gain = base - oh
+        assert oh_gain > 0.45 * wh_gain
+
+    def test_full_imli_improves_spec2k6_12(self, spec2k6_12_trace):
+        base = _mpki("tage-gsc", spec2k6_12_trace)
+        imli = _mpki("tage-gsc+imli", spec2k6_12_trace)
+        assert imli < base * 0.9
+
+
+class TestNeutralityClaims:
+    def test_imli_is_nearly_neutral_on_easy_code(self, easy_trace):
+        """Benchmarks without loop correlation neither benefit nor suffer."""
+        base = _mpki("tage-gsc", easy_trace)
+        imli = _mpki("tage-gsc+imli", easy_trace)
+        assert imli <= base * 1.15 + 0.3
+
+    def test_imli_is_nearly_neutral_on_local_code(self, local_trace):
+        base = _mpki("gehl", local_trace)
+        imli = _mpki("gehl+imli", local_trace)
+        assert imli <= base * 1.15 + 0.3
+
+
+class TestLocalHistoryInteraction:
+    @pytest.fixture(scope="class")
+    def runner(self, request):
+        from repro.workloads.suites import generate_suite
+
+        traces = generate_suite(
+            "cbp4like",
+            target_conditional_branches=1500,
+            benchmarks=["SPEC2K6-04", "SPEC2K6-12", "SPEC2K6-02", "SPEC2K6-00"],
+        )
+        return SuiteRunner(traces, profile="small")
+
+    def test_local_benefit_shrinks_with_imli(self, runner):
+        """Section 5: local history buys less once IMLI components are present."""
+        base = runner.run("tage-gsc").average_mpki
+        local = runner.run("tage-gsc+l").average_mpki
+        imli = runner.run("tage-gsc+imli").average_mpki
+        imli_local = runner.run("tage-gsc+imli+l").average_mpki
+        assert (imli - imli_local) < (base - local)
+
+    def test_combined_configuration_is_best(self, runner):
+        base = runner.run("tage-gsc").average_mpki
+        imli_local = runner.run("tage-gsc+imli+l").average_mpki
+        assert imli_local < base
+
+    def test_record_configuration_improves_tage_sc_l(self, runner):
+        """Section 5: TAGE-SC-L + IMLI beats TAGE-SC-L."""
+        tage_sc_l = runner.run("tage-sc-l").average_mpki
+        with_imli = runner.run("tage-sc-l+imli").average_mpki
+        assert with_imli < tage_sc_l * 1.02  # must not regress; normally improves

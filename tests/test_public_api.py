@@ -1,0 +1,45 @@
+"""Tests for the top-level public API of the repro package."""
+
+from __future__ import annotations
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version_is_exposed(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_flow(self):
+        """The README quick-start flow must work end to end."""
+        traces = repro.generate_suite(
+            "cbp4like", target_conditional_branches=400, benchmarks=["SPEC2K6-00"]
+        )
+        runner = repro.SuiteRunner(traces, profile="small")
+        base = runner.run("tage-gsc")
+        imli = runner.run("tage-gsc+imli")
+        assert base.average_mpki > 0
+        assert imli.average_mpki > 0
+
+    def test_single_benchmark_and_predictor(self):
+        from repro.workloads.suites import get_benchmark
+
+        trace = repro.generate_benchmark(
+            get_benchmark("cbp4like", "MM-4"), target_conditional_branches=400
+        )
+        predictor = repro.build_named("gehl+imli", profile="small")
+        result = repro.simulate(predictor, trace)
+        assert result.trace_name == "MM-4"
+        assert 0.0 <= result.accuracy <= 1.0
+
+    def test_configuration_names_exposed(self):
+        names = repro.configuration_names()
+        assert "tage-gsc+imli" in names
+        assert "gehl+l" in names
+
+    def test_imli_state_exposed(self):
+        imli = repro.IMLIState()
+        assert imli.count == 0

@@ -1,0 +1,149 @@
+"""Tests for the baseline predictors (static, bimodal, gshare, perceptron)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.predictors.simple import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    GSharePredictor,
+    PerceptronPredictor,
+    StaticBackwardTakenPredictor,
+)
+from repro.sim.engine import simulate
+from repro.trace.branch import BranchRecord, conditional_branch
+from repro.trace.trace import Trace
+
+
+def _run(predictor, records):
+    """Drive a predictor over raw records; return the misprediction count."""
+    mispredictions = 0
+    for record in records:
+        prediction = predictor.predict(record)
+        predictor.update(record, prediction)
+        if prediction != record.taken:
+            mispredictions += 1
+    return mispredictions
+
+
+class TestStaticPredictors:
+    def test_always_taken(self):
+        predictor = AlwaysTakenPredictor()
+        records = [conditional_branch(0x10, 0x20, taken=bool(i % 2)) for i in range(10)]
+        assert _run(predictor, records) == 5
+        assert predictor.storage_bits() == 0
+
+    def test_backward_taken_heuristic(self):
+        predictor = StaticBackwardTakenPredictor()
+        backward = BranchRecord(pc=0x100, target=0x50, taken=True)
+        forward = BranchRecord(pc=0x100, target=0x200, taken=True)
+        assert predictor.predict(backward) is True
+        assert predictor.predict(forward) is False
+
+
+class TestBimodalPredictor:
+    def test_learns_biased_branch(self):
+        predictor = BimodalPredictor(entries=64)
+        records = [conditional_branch(0x40, 0x80, taken=True)] * 50
+        assert _run(predictor, records) <= 2
+
+    def test_learns_two_independent_branches(self):
+        predictor = BimodalPredictor(entries=1024)
+        records = []
+        for _ in range(40):
+            records.append(conditional_branch(0x40, 0x80, taken=True))
+            records.append(conditional_branch(0x4000, 0x4040, taken=False))
+        assert _run(predictor, records) <= 4
+
+    def test_cannot_learn_alternation(self, alternating_records):
+        predictor = BimodalPredictor(entries=64)
+        mispredictions = _run(predictor, alternating_records)
+        assert mispredictions >= len(alternating_records) * 0.4
+
+    def test_storage_bits(self):
+        assert BimodalPredictor(entries=4096, counter_bits=2).storage_bits() == 8192
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(entries=100)
+
+
+class TestGSharePredictor:
+    def test_learns_alternation_via_history(self, alternating_records):
+        predictor = GSharePredictor(entries=1024, history_length=8)
+        mispredictions = _run(predictor, alternating_records)
+        # After warm-up the T/N/T/N pattern is fully predictable from history.
+        assert mispredictions <= 10
+
+    def test_learns_history_correlated_branch(self):
+        predictor = GSharePredictor(entries=2048, history_length=6)
+        records = []
+        import random
+
+        rng = random.Random(0)
+        last = False
+        for _ in range(400):
+            source = rng.random() < 0.5
+            records.append(conditional_branch(0x100, 0x140, taken=source))
+            records.append(conditional_branch(0x200, 0x240, taken=not source))
+            last = source
+        mispredictions = _run(predictor, records)
+        # The correlated branch becomes predictable; the source stays random,
+        # so the overall misprediction rate must fall clearly below 50 %.
+        assert mispredictions < 800 * 0.45
+
+    def test_storage_accounts_for_history(self):
+        predictor = GSharePredictor(entries=1024, history_length=12, counter_bits=2)
+        assert predictor.storage_bits() == 1024 * 2 + 12
+
+    def test_invalid_history_rejected(self):
+        with pytest.raises(ValueError):
+            GSharePredictor(history_length=0)
+
+
+class TestPerceptronPredictor:
+    def test_learns_biased_branch(self):
+        predictor = PerceptronPredictor(entries=64, history_length=12)
+        records = [conditional_branch(0x40, 0x80, taken=True)] * 100
+        assert _run(predictor, records) <= 5
+
+    def test_learns_linearly_separable_correlation(self):
+        """Outcome = previous outcome of another branch: linearly separable."""
+        import random
+
+        rng = random.Random(7)
+        predictor = PerceptronPredictor(entries=64, history_length=8)
+        records = []
+        for _ in range(600):
+            source = rng.random() < 0.5
+            records.append(conditional_branch(0x300, 0x340, taken=source))
+            records.append(conditional_branch(0x500, 0x540, taken=source))
+        mispredictions = _run(predictor, records)
+        # The follower branch is predictable, the source is not: well below 50%.
+        assert mispredictions < 600 * 0.70
+
+    def test_storage_bits(self):
+        predictor = PerceptronPredictor(entries=16, history_length=10, weight_bits=8)
+        assert predictor.storage_bits() == 16 * 11 * 8 + 10
+
+    def test_invalid_history_rejected(self):
+        with pytest.raises(ValueError):
+            PerceptronPredictor(history_length=0)
+
+
+class TestSimplePredictorsOnTraces:
+    def test_bimodal_beats_always_taken_on_easy_trace(self, easy_trace):
+        bimodal = simulate(BimodalPredictor(), easy_trace)
+        always = simulate(AlwaysTakenPredictor(), easy_trace)
+        assert bimodal.mpki < always.mpki
+
+    def test_gshare_beats_always_taken_on_local_trace(self, local_trace):
+        always = simulate(AlwaysTakenPredictor(), local_trace)
+        gshare = simulate(GSharePredictor(entries=4096, history_length=12), local_trace)
+        assert gshare.mpki < always.mpki
+
+    def test_results_are_reproducible(self, easy_trace):
+        first = simulate(BimodalPredictor(), easy_trace)
+        second = simulate(BimodalPredictor(), easy_trace)
+        assert first.mispredictions == second.mispredictions

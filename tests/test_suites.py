@@ -1,0 +1,133 @@
+"""Tests for the synthetic benchmark suite definitions and generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.stats import compute_statistics
+from repro.workloads.suites import (
+    benchmark_names,
+    generate_benchmark,
+    generate_suite,
+    get_benchmark,
+    get_suite,
+    suite_names,
+)
+
+PAPER_HIGHLIGHTED = {
+    "cbp4like": ["SPEC2K6-04", "SPEC2K6-12", "MM-4"],
+    "cbp3like": ["CLIENT02", "MM07", "WS03", "WS04"],
+}
+
+
+class TestSuiteDefinitions:
+    def test_two_suites_exist(self):
+        assert set(suite_names()) == {"cbp4like", "cbp3like"}
+
+    def test_each_suite_has_twenty_benchmarks(self):
+        for suite in suite_names():
+            assert len(benchmark_names(suite)) == 20
+
+    def test_benchmark_names_are_unique(self):
+        for suite in suite_names():
+            names = benchmark_names(suite)
+            assert len(names) == len(set(names))
+
+    def test_paper_highlighted_benchmarks_present(self):
+        for suite, names in PAPER_HIGHLIGHTED.items():
+            for name in names:
+                assert name in benchmark_names(suite)
+
+    def test_get_benchmark_and_suite(self):
+        spec = get_benchmark("cbp4like", "SPEC2K6-04")
+        assert spec.name == "SPEC2K6-04"
+        assert get_suite("cbp4like").get("SPEC2K6-04") is spec
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(KeyError):
+            get_suite("cbp5like")
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            get_benchmark("cbp4like", "NOPE")
+
+    def test_every_benchmark_has_description_and_phases(self):
+        for suite in suite_names():
+            for benchmark in get_suite(suite).benchmarks:
+                assert benchmark.description
+                assert benchmark.phases
+                assert benchmark.seed > 0
+
+    def test_seeds_are_unique_across_suites(self):
+        seeds = [
+            benchmark.seed
+            for suite in suite_names()
+            for benchmark in get_suite(suite).benchmarks
+        ]
+        assert len(seeds) == len(set(seeds))
+
+
+class TestBenchmarkGeneration:
+    def test_target_length_reached(self):
+        trace = generate_benchmark(
+            get_benchmark("cbp4like", "SPEC2K6-00"), target_conditional_branches=1500
+        )
+        assert trace.conditional_count >= 1500
+
+    def test_generation_is_deterministic(self):
+        spec = get_benchmark("cbp3like", "WS04")
+        first = generate_benchmark(spec, target_conditional_branches=1000)
+        second = generate_benchmark(spec, target_conditional_branches=1000)
+        assert first.records == second.records
+
+    def test_metadata_recorded(self):
+        trace = generate_benchmark(
+            get_benchmark("cbp4like", "MM-4"), target_conditional_branches=800
+        )
+        assert trace.name == "MM-4"
+        assert "description" in trace.metadata
+        assert trace.metadata["target_conditional_branches"] == "800"
+
+    def test_instruction_gap_parameter(self):
+        trace = generate_benchmark(
+            get_benchmark("cbp4like", "MM-1"),
+            target_conditional_branches=500,
+            instruction_gap=3,
+        )
+        assert all(record.instruction_gap == 3 for record in trace)
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            generate_benchmark(get_benchmark("cbp4like", "MM-1"), target_conditional_branches=0)
+
+    def test_phases_use_disjoint_pcs(self):
+        spec = get_benchmark("cbp4like", "SPEC2K6-12")
+        trace = generate_benchmark(spec, target_conditional_branches=1200)
+        pcs = {record.pc for record in trace}
+        regions = {pc >> 18 for pc in pcs}
+        assert len(regions) == len(spec.phases)
+
+    def test_nested_loop_benchmarks_have_backward_branches(self):
+        trace = generate_benchmark(
+            get_benchmark("cbp3like", "WS04"), target_conditional_branches=1500
+        )
+        stats = compute_statistics(trace)
+        assert stats.backward_branch_fraction > 0.05
+        assert stats.mean_inner_loop_trip_count > 4
+
+
+class TestSuiteGeneration:
+    def test_generate_full_suite(self):
+        traces = generate_suite("cbp4like", target_conditional_branches=300)
+        assert len(traces) == 20
+        assert [trace.name for trace in traces] == benchmark_names("cbp4like")
+
+    def test_generate_subset(self):
+        traces = generate_suite(
+            "cbp3like", target_conditional_branches=300, benchmarks=["MM07", "WS04"]
+        )
+        assert [trace.name for trace in traces] == ["MM07", "WS04"]
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(KeyError):
+            generate_suite("not-a-suite")
