@@ -41,3 +41,15 @@ def test_prediction_throughput(benchmark, configuration):
 
     result = benchmark.pedantic(run_once, rounds=3, iterations=1)
     assert result.conditional_branches == trace.conditional_count
+
+
+@pytest.mark.parametrize("configuration", CONFIGURATIONS)
+def test_fast_path_bit_identical(configuration):
+    """The columnar fast path must match the reference path bit-for-bit."""
+    trace = _trace()
+    fast = simulate(_build(configuration), trace, use_fast_path=True)
+    reference = simulate(_build(configuration), trace, use_fast_path=False)
+    assert fast.mispredictions == reference.mispredictions
+    assert fast.conditional_branches == reference.conditional_branches
+    assert fast.instructions == reference.instructions
+    assert fast.storage_bits == reference.storage_bits

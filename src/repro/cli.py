@@ -26,7 +26,7 @@ from repro.analysis.experiments import experiment_ids, run_experiment
 from repro.analysis.tables import format_table
 from repro.predictors.composites import configuration_names
 from repro.sim.runner import SuiteRunner
-from repro.trace.trace import save_trace
+from repro.trace.trace import save_trace, save_trace_binary
 from repro.workloads.suites import (
     benchmark_names,
     generate_benchmark,
@@ -36,6 +36,13 @@ from repro.workloads.suites import (
 )
 
 __all__ = ["build_parser", "main"]
+
+
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return parsed
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,6 +70,10 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--length", type=int, default=2500,
                           help="conditional branches per benchmark trace")
     simulate.add_argument("--profile", default="small", choices=("small", "default"))
+    simulate.add_argument(
+        "--jobs", "-j", type=_positive_int, default=1,
+        help="worker processes for the simulations (default: 1, in-process)",
+    )
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's tables or figures"
@@ -74,12 +85,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--benchmarks", default=None,
         help="comma-separated benchmark names to restrict both suites to",
     )
+    experiment.add_argument(
+        "--jobs", "-j", type=_positive_int, default=1,
+        help="worker processes for the simulations (default: 1, in-process)",
+    )
 
     trace = subparsers.add_parser("trace", help="generate one benchmark trace to a file")
     trace.add_argument("--suite", default="cbp4like", choices=suite_names())
     trace.add_argument("--benchmark", required=True)
     trace.add_argument("--length", type=int, default=20000)
-    trace.add_argument("--output", required=True, help="output path (text trace format)")
+    trace.add_argument("--output", required=True, help="output path")
+    trace.add_argument(
+        "--format", dest="trace_format", default="text", choices=("text", "binary"),
+        help="on-disk trace format (default: text)",
+    )
 
     return parser
 
@@ -117,7 +136,7 @@ def _command_simulate(args: argparse.Namespace) -> int:
     if not traces:
         print("no benchmarks selected", file=sys.stderr)
         return 2
-    runner = SuiteRunner(traces, profile=args.profile)
+    runner = SuiteRunner(traces, profile=args.profile, max_workers=args.jobs)
     runs = runner.run_many(configurations)
     rows = []
     for name in runner.trace_names():
@@ -139,7 +158,9 @@ def _command_experiment(args: argparse.Namespace) -> int:
             suite, target_conditional_branches=args.length, benchmarks=subset
         )
         if traces:
-            runners[suite] = SuiteRunner(traces, profile=args.profile)
+            runners[suite] = SuiteRunner(
+                traces, profile=args.profile, max_workers=args.jobs
+            )
     if not runners:
         print("no benchmarks selected", file=sys.stderr)
         return 2
@@ -155,9 +176,12 @@ def _command_trace(args: argparse.Namespace) -> int:
         print(str(error), file=sys.stderr)
         return 2
     trace = generate_benchmark(spec, target_conditional_branches=args.length)
-    save_trace(trace, args.output)
+    if args.trace_format == "binary":
+        save_trace_binary(trace, args.output)
+    else:
+        save_trace(trace, args.output)
     print(f"wrote {len(trace)} branch records ({trace.conditional_count} conditional) "
-          f"to {args.output}")
+          f"to {args.output} ({args.trace_format} format)")
     return 0
 
 

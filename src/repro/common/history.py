@@ -31,18 +31,19 @@ class GlobalHistory:
     outcome.  Only the ``capacity`` most recent outcomes are retained.
     """
 
-    __slots__ = ("capacity", "bits", "length")
+    __slots__ = ("capacity", "bits", "length", "capacity_mask")
 
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
             raise ValueError(f"history capacity must be positive, got {capacity}")
         self.capacity = capacity
+        self.capacity_mask = mask(capacity)
         self.bits = 0
         self.length = 0
 
     def push(self, taken: bool) -> None:
         """Append the outcome of the most recent conditional branch."""
-        self.bits = ((self.bits << 1) | int(taken)) & mask(self.capacity)
+        self.bits = ((self.bits << 1) | int(taken)) & self.capacity_mask
         if self.length < self.capacity:
             self.length += 1
 
@@ -76,7 +77,7 @@ class GlobalHistory:
 class PathHistory:
     """Global path history: a shift register of low PC bits of past branches."""
 
-    __slots__ = ("capacity", "bits_per_branch", "bits")
+    __slots__ = ("capacity", "bits_per_branch", "bits", "capacity_mask", "branch_mask")
 
     def __init__(self, capacity: int, bits_per_branch: int = 1) -> None:
         if capacity <= 0:
@@ -87,12 +88,14 @@ class PathHistory:
             )
         self.capacity = capacity
         self.bits_per_branch = bits_per_branch
+        self.capacity_mask = mask(capacity)
+        self.branch_mask = mask(bits_per_branch)
         self.bits = 0
 
     def push(self, pc: int) -> None:
         """Append the low bits of the PC of the most recent branch."""
-        low = pc & mask(self.bits_per_branch)
-        self.bits = ((self.bits << self.bits_per_branch) | low) & mask(self.capacity)
+        low = pc & self.branch_mask
+        self.bits = ((self.bits << self.bits_per_branch) | low) & self.capacity_mask
 
     def value(self, length: int) -> int:
         """Return the most recent ``length`` path bits as an integer."""
@@ -125,7 +128,7 @@ class FoldedHistory:
     :class:`GlobalHistory`).
     """
 
-    __slots__ = ("length", "width", "fold", "_out_position")
+    __slots__ = ("length", "width", "fold", "width_mask", "_out_position")
 
     def __init__(self, length: int, width: int) -> None:
         if length < 0:
@@ -134,6 +137,7 @@ class FoldedHistory:
             raise ValueError(f"folded history width must be positive, got {width}")
         self.length = length
         self.width = width
+        self.width_mask = mask(width)
         self.fold = 0
         # Bit position inside the fold where the oldest history bit lands.
         self._out_position = length % width if length else 0
@@ -151,7 +155,7 @@ class FoldedHistory:
         fold = (fold << 1) | (new_bit & 1)
         fold ^= (dropped_bit & 1) << self._out_position
         fold ^= fold >> self.width
-        self.fold = fold & mask(self.width)
+        self.fold = fold & self.width_mask
 
     def value(self) -> int:
         """Current folded value (``width`` bits)."""

@@ -62,32 +62,92 @@ class SharedState:
         self.local_histories = local_history_table
         self.tage_prediction: Optional[bool] = None
         self._folded: List[FoldedHistory] = []
+        # Hot mirror of ``_folded`` for the per-branch update loop: one
+        # ``(register, dropped-bit mask, out-position mask, width, width
+        # mask)`` row per non-trivial register, so the loop reads
+        # precomputed locals instead of five attributes per register.
+        # Zero-length folds are excluded (their update is a no-op).
+        self._folded_hot: List[tuple] = []
+        self._folded_by_shape: dict = {}
 
     def new_folded_history(self, length: int, width: int) -> FoldedHistory:
-        """Create and register a folded view of the global history."""
+        """Create and register a folded view of the global history.
+
+        A registered fold is a pure function of the shared global history,
+        so two requests with the same ``(length, width)`` always hold
+        identical values; the shared state therefore hands out one register
+        per shape and updates it once per branch.  (TAGE's alternate tag
+        folds, for example, coincide with its index folds whenever the
+        index and alternate-tag widths match.)
+        """
+        shape = (length, width)
+        folded = self._folded_by_shape.get(shape)
+        if folded is not None:
+            return folded
         folded = FoldedHistory(length, width)
+        self._folded_by_shape[shape] = folded
         self._folded.append(folded)
+        if length:
+            self._folded_hot.append(
+                (
+                    folded,
+                    1 << (length - 1),
+                    1 << folded._out_position,
+                    width,
+                    folded.width_mask,
+                )
+            )
         return folded
 
     def update_conditional(self, record: BranchRecord) -> None:
         """Advance all shared histories with a resolved conditional branch."""
-        new_bit = int(record.taken)
+        self.update_conditional_fields(record.pc, record.target, record.taken)
+
+    def update_conditional_fields(self, pc: int, target: int, taken: bool) -> None:
+        """Field-based equivalent of :meth:`update_conditional`.
+
+        This is the per-branch hot path: the folded-history maintenance is
+        inlined (rather than calling :meth:`FoldedHistory.update` per
+        register) because a large composite carries several dozen folded
+        registers.
+        """
+        new_bit = 1 if taken else 0
+        global_history = self.global_history
+        history_bits = global_history.bits
         # Folded histories must observe the dropped bit *before* the global
         # history register shifts.
-        for folded in self._folded:
-            if folded.length == 0:
-                continue
-            dropped = self.global_history.bit(folded.length - 1)
-            folded.update(new_bit, dropped)
-        self.global_history.push(record.taken)
-        self.path_history.push(record.pc)
-        self.imli.update(record)
+        for folded, drop_mask, out_mask, width, width_mask in self._folded_hot:
+            fold = (folded.fold << 1) | new_bit
+            if history_bits & drop_mask:
+                fold ^= out_mask
+            fold ^= fold >> width
+            folded.fold = fold & width_mask
+        global_history.bits = ((history_bits << 1) | new_bit) & global_history.capacity_mask
+        if global_history.length < global_history.capacity:
+            global_history.length += 1
+        path_history = self.path_history
+        path_history.bits = (
+            (path_history.bits << path_history.bits_per_branch)
+            | (pc & path_history.branch_mask)
+        ) & path_history.capacity_mask
+        # IMLI heuristic for a conditional branch (backward means target < pc).
+        if target < pc:
+            imli = self.imli
+            if taken:
+                if imli.count < imli.maximum:
+                    imli.count += 1
+            else:
+                imli.count = 0
         if self.local_histories is not None:
-            self.local_histories.update(record.pc, record.taken)
+            self.local_histories.update(pc, taken)
 
     def update_unconditional(self, record: BranchRecord) -> None:
         """Advance the path history with a non-conditional branch."""
         self.path_history.push(record.pc)
+
+    def observe_pc(self, pc: int) -> None:
+        """Field-based equivalent of :meth:`update_unconditional`."""
+        self.path_history.push(pc)
 
     def storage_bits(self) -> int:
         """State bits held by the shared registers (histories + IMLI)."""
@@ -129,6 +189,23 @@ class NeuralComponent(ABC):
     def select(self, pc: int, state: SharedState) -> List[CounterSelection]:
         """Return the counters this component contributes for branch ``pc``."""
 
+    def select_sum(self, pc: int, state: SharedState) -> tuple:
+        """Return ``(selections, contribution)`` for branch ``pc``.
+
+        The contribution is the component's centred adder-tree input,
+        ``sum(2 * counter + 1)`` over the selected counters.  The default
+        derives it from :meth:`select`; hot components override this with a
+        fused implementation (the selected counter is already at hand when
+        the index has just been computed).  Overrides must stay consistent
+        with :meth:`select` -- the adder tree trains through the returned
+        selections either way.
+        """
+        selections = self.select(pc, state)
+        total = 0
+        for table, index in selections:
+            total += 2 * table.values[index] + 1
+        return selections, total
+
     def train(
         self,
         pc: int,
@@ -139,18 +216,38 @@ class NeuralComponent(ABC):
         """Train the counters selected at prediction time.
 
         The default moves every selected counter one step toward the
-        outcome; components with bespoke training override this.
+        outcome (the saturating-counter step is inlined -- this runs for
+        every selected counter of every trained branch); components with
+        bespoke training override this.
         """
-        for table, index in selections:
-            table.update(index, taken)
+        if taken:
+            for table, index in selections:
+                values = table.values
+                value = values[index]
+                if value < table.maximum:
+                    values[index] = value + 1
+        else:
+            for table, index in selections:
+                values = table.values
+                value = values[index]
+                if value > table.minimum:
+                    values[index] = value - 1
 
     def on_outcome(self, record: BranchRecord, state: SharedState) -> None:
         """Bookkeeping hook invoked once per conditional branch outcome.
 
         Called after :meth:`train` and before the shared histories advance.
-        Components that maintain private structures (for example the IMLI
-        outer-history table) override this.
+        Delegates to :meth:`on_outcome_fields`; components that maintain
+        private structures (for example the IMLI outer-history table)
+        override that method so the record-based and field-based call paths
+        share one implementation.
         """
+        self.on_outcome_fields(record.pc, record.target, record.taken, state)
+
+    def on_outcome_fields(
+        self, pc: int, target: int, taken: bool, state: SharedState
+    ) -> None:
+        """Field-based form of :meth:`on_outcome` (default: no bookkeeping)."""
 
     @abstractmethod
     def storage_bits(self) -> int:

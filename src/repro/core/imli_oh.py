@@ -36,10 +36,9 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, List, Tuple
 
-from repro.common.bits import hash_pc, log2_exact, mix_hash
+from repro.common.bits import hash_pc, log2_exact, mask, mix_hash3
 from repro.common.counters import SignedCounterArray
 from repro.core.component import CounterSelection, NeuralComponent, SharedState
-from repro.trace.branch import BranchRecord
 
 __all__ = ["IMLIOuterHistoryComponent"]
 
@@ -80,7 +79,9 @@ class IMLIOuterHistoryComponent(NeuralComponent):
         if update_delay < 0:
             raise ValueError(f"update delay must be non-negative, got {update_delay}")
         self.prediction_index_bits = log2_exact(prediction_entries)
+        self.prediction_index_mask = mask(self.prediction_index_bits)
         self.branch_index_bits = log2_exact(tracked_branches)
+        self._branch_index_mask = mask(self.branch_index_bits)
         self.iterations_per_branch = iterations_per_branch
         self.tracked_branches = tracked_branches
         self.table = SignedCounterArray(prediction_entries, counter_bits)
@@ -121,11 +122,28 @@ class IMLIOuterHistoryComponent(NeuralComponent):
     # ------------------------------------------------------------------ #
 
     def select(self, pc: int, state: SharedState) -> List[CounterSelection]:
-        same, previous = self.recovered_outcomes(pc, state.imli.count)
-        index = mix_hash(pc, same, 2 * previous, width=self.prediction_index_bits)
+        slot = self._slot(pc)
+        same = self.history[
+            slot * self.iterations_per_branch
+            + (state.imli.count % self.iterations_per_branch)
+        ]
+        index = mix_hash3(pc, same, 2 * self.pipe[slot]) & self.prediction_index_mask
         return [(self.table, index)]
 
-    def on_outcome(self, record: BranchRecord, state: SharedState) -> None:
+    def select_sum(self, pc: int, state: SharedState) -> tuple:
+        width = self.branch_index_bits
+        slot = (pc ^ (pc >> width) ^ (pc >> (2 * width))) & self._branch_index_mask
+        same = self.history[
+            slot * self.iterations_per_branch
+            + (state.imli.count % self.iterations_per_branch)
+        ]
+        index = mix_hash3(pc, same, 2 * self.pipe[slot]) & self.prediction_index_mask
+        table = self.table
+        return [(table, index)], 2 * table.values[index] + 1
+
+    def on_outcome_fields(
+        self, pc: int, target: int, taken: bool, state: SharedState
+    ) -> None:
         """Record the resolved outcome in the outer-history structures.
 
         Backward conditional branches (loop back-edges) are not recorded:
@@ -134,12 +152,16 @@ class IMLIOuterHistoryComponent(NeuralComponent):
         pollute the rows of the loop-body branches IMLI-OH targets.
         """
         self._tick += 1
-        self._drain_pending()
-        if record.is_backward:
+        if self._pending:
+            self._drain_pending()
+        if target < pc:
             return
-        slot = self._slot(record.pc)
-        cell = self._cell(slot, state.imli.count)
-        outcome = int(record.taken)
+        width = self.branch_index_bits
+        slot = (pc ^ (pc >> width) ^ (pc >> (2 * width))) & self._branch_index_mask
+        cell = slot * self.iterations_per_branch + (
+            state.imli.count % self.iterations_per_branch
+        )
+        outcome = 1 if taken else 0
         # Stage the previous-outer-iteration outcome into the PIPE vector
         # before the cell is overwritten with the current outcome.  This is
         # the speculative, checkpointed part of the state and is never

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.common.bits import log2_exact, mix_hash
+from repro.common.bits import log2_exact, mask, mix_hash2
 from repro.common.counters import SignedCounterArray
 from repro.core.component import CounterSelection, NeuralComponent, SharedState
 
@@ -40,11 +40,16 @@ class IMLISameIterationComponent(NeuralComponent):
 
     def __init__(self, entries: int = 512, counter_bits: int = 6) -> None:
         self.index_bits = log2_exact(entries)
+        self.index_mask = mask(self.index_bits)
         self.table = SignedCounterArray(entries, counter_bits)
 
     def select(self, pc: int, state: SharedState) -> List[CounterSelection]:
-        index = mix_hash(pc, state.imli.count, width=self.index_bits)
-        return [(self.table, index)]
+        return [(self.table, mix_hash2(pc, state.imli.count) & self.index_mask)]
+
+    def select_sum(self, pc: int, state: SharedState) -> tuple:
+        table = self.table
+        index = mix_hash2(pc, state.imli.count) & self.index_mask
+        return [(table, index)], 2 * table.values[index] + 1
 
     def storage_bits(self) -> int:
         return self.table.storage_bits()

@@ -14,7 +14,7 @@ thin layers on top of it.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.component import CounterSelection, NeuralComponent, SharedState
 from repro.trace.branch import BranchRecord
@@ -50,6 +50,11 @@ class AdderTree:
                 f"initial threshold must be non-negative, got {initial_threshold}"
             )
         self.components: List[NeuralComponent] = list(components)
+        # Components whose on_outcome hook actually does something; resolved
+        # lazily (and re-resolved whenever the component list grows, since
+        # callers may append components after construction).
+        self._outcome_components: Optional[List[NeuralComponent]] = None
+        self._outcome_scan_size = -1
         self.threshold = initial_threshold
         self._threshold_counter = 0
         self._threshold_counter_max = (1 << (threshold_counter_bits - 1)) - 1
@@ -72,11 +77,11 @@ class AdderTree:
         """
         total = 0
         all_selections: List[List[CounterSelection]] = []
+        append = all_selections.append
         for component in self.components:
-            selections = component.select(pc, state)
-            for table, index in selections:
-                total += 2 * table.values[index] + 1
-            all_selections.append(selections)
+            selections, contribution = component.select_sum(pc, state)
+            total += contribution
+            append(selections)
         return total, all_selections
 
     # ------------------------------------------------------------------ #
@@ -98,15 +103,57 @@ class AdderTree:
         prediction was wrong even though the adder tree itself looked
         confident.
         """
-        taken = record.taken
+        self.train_fields(
+            record.pc, record.target, record.taken, total, all_selections, state, force
+        )
+
+    def train_fields(
+        self,
+        pc: int,
+        target: int,
+        taken: bool,
+        total: int,
+        all_selections: List[List[CounterSelection]],
+        state: SharedState,
+        force: bool = False,
+    ) -> None:
+        """Field-based form of :meth:`train` (the per-branch hot path)."""
         adder_prediction = total >= 0
         mispredicted = adder_prediction != taken
         if force or mispredicted or abs(total) <= self.threshold:
             for component, selections in zip(self.components, all_selections):
-                component.train(record.pc, taken, selections, state)
+                component.train(pc, taken, selections, state)
             self._adapt_threshold(mispredicted, total)
+        outcome_components = self._outcome_components
+        if outcome_components is None or self._outcome_scan_size != len(self.components):
+            outcome_components = self._scan_outcome_components()
+        for component in outcome_components:
+            component.on_outcome_fields(pc, target, taken, state)
+
+    def _scan_outcome_components(self) -> List[NeuralComponent]:
+        """Resolve which components need the per-branch outcome hook.
+
+        A component that overrides the record-based ``on_outcome`` without
+        overriding ``on_outcome_fields`` would be silently skipped on both
+        call paths (the record path delegates to the field path), so that
+        is rejected loudly here.
+        """
+        outcome_components = []
+        base_fields_hook = NeuralComponent.on_outcome_fields
+        base_record_hook = NeuralComponent.on_outcome
         for component in self.components:
-            component.on_outcome(record, state)
+            kind = type(component)
+            if kind.on_outcome_fields is not base_fields_hook:
+                outcome_components.append(component)
+            elif kind.on_outcome is not base_record_hook:
+                raise TypeError(
+                    f"{kind.__name__} overrides on_outcome() but not "
+                    "on_outcome_fields(); override on_outcome_fields() so the "
+                    "hook runs on both the record and the columnar call paths"
+                )
+        self._outcome_components = outcome_components
+        self._outcome_scan_size = len(self.components)
+        return outcome_components
 
     def _adapt_threshold(self, mispredicted: bool, total: int) -> None:
         """O-GEHL style dynamic threshold fitting.

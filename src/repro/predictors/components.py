@@ -23,7 +23,19 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-from repro.common.bits import log2_exact, mix_hash
+from repro.common.bits import (
+    MASK64,
+    MIX_FINAL_MULTIPLIER,
+    MIX_ROUND_KEY,
+    MIX_ROUND_MULTIPLIER,
+    log2_exact,
+    mask,
+    mix_hash,
+    mix_hash1,
+    mix_hash2,
+    mix_hash3,
+    mix_hash4,
+)
 from repro.common.counters import SignedCounterArray
 from repro.common.history import FoldedHistory
 from repro.core.component import CounterSelection, NeuralComponent, SharedState
@@ -84,6 +96,7 @@ class BiasComponent(NeuralComponent):
         use_tage_prediction: bool = False,
     ) -> None:
         self.index_bits = log2_exact(entries)
+        self.index_mask = mask(self.index_bits)
         self.use_tage_prediction = use_tage_prediction
         self.pc_table = SignedCounterArray(entries, counter_bits)
         self.tage_table = (
@@ -91,15 +104,29 @@ class BiasComponent(NeuralComponent):
         )
 
     def select(self, pc: int, state: SharedState) -> List[CounterSelection]:
+        index_mask = self.index_mask
         selections: List[CounterSelection] = [
-            (self.pc_table, mix_hash(pc, width=self.index_bits))
+            (self.pc_table, mix_hash1(pc) & index_mask)
         ]
         if self.tage_table is not None:
-            tage_bit = int(bool(state.tage_prediction))
+            tage_bit = 1 if state.tage_prediction else 0
             selections.append(
-                (self.tage_table, mix_hash(pc, tage_bit, width=self.index_bits))
+                (self.tage_table, mix_hash2(pc, tage_bit) & index_mask)
             )
         return selections
+
+    def select_sum(self, pc: int, state: SharedState) -> tuple:
+        index_mask = self.index_mask
+        pc_table = self.pc_table
+        pc_index = mix_hash1(pc) & index_mask
+        total = 2 * pc_table.values[pc_index] + 1
+        tage_table = self.tage_table
+        if tage_table is None:
+            return [(pc_table, pc_index)], total
+        tage_bit = 1 if state.tage_prediction else 0
+        tage_index = mix_hash2(pc, tage_bit) & index_mask
+        total += 2 * tage_table.values[tage_index] + 1
+        return [(pc_table, pc_index), (tage_table, tage_index)], total
 
     def storage_bits(self) -> int:
         bits = self.pc_table.storage_bits()
@@ -130,6 +157,7 @@ class GlobalHistoryComponent(NeuralComponent):
         if not history_lengths:
             raise ValueError("at least one history length is required")
         self.index_bits = log2_exact(entries)
+        self.index_mask = mask(self.index_bits)
         self.history_lengths = list(history_lengths)
         self.use_path_history = use_path_history
         self.tables = [
@@ -139,14 +167,58 @@ class GlobalHistoryComponent(NeuralComponent):
             state.new_folded_history(length, self.index_bits)
             for length in self.history_lengths
         ]
+        # Per-table hot rows: (table, folded register, path-history mask).
+        # The path hash consumes at most 16 path bits, clamped to the path
+        # register capacity exactly like PathHistory.value() does.
+        path_capacity = state.path_history.capacity
+        self._rows = [
+            (table, folded, mask(min(length, 16, path_capacity)))
+            for table, folded, length in zip(
+                self.tables, self.folded, self.history_lengths
+            )
+        ]
 
     def select(self, pc: int, state: SharedState) -> List[CounterSelection]:
-        selections: List[CounterSelection] = []
-        for table, folded, length in zip(self.tables, self.folded, self.history_lengths):
-            path = state.path_history.value(min(length, 16)) if self.use_path_history else 0
-            index = mix_hash(pc, folded.value(), path, width=self.index_bits)
-            selections.append((table, index))
-        return selections
+        path_bits = state.path_history.bits if self.use_path_history else 0
+        index_mask = self.index_mask
+        return [
+            (table, mix_hash3(pc, folded.fold, path_bits & path_mask) & index_mask)
+            for table, folded, path_mask in self._rows
+        ]
+
+    def select_sum(self, pc: int, state: SharedState) -> tuple:
+        # The hottest hash site of the adder-tree predictors: the splitmix
+        # rounds of ``mix_hash3(pc, fold, path)`` are inlined with the
+        # PC-only first round hoisted out of the per-table loop (it is the
+        # same for every table; see bits.mix_pc_round / bits.mix_tail2,
+        # whose property tests pin this inline copy to the generic hash).
+        # The shared constants are hoisted into locals so the loop body
+        # pays LOAD_FAST, not module-global lookups.
+        path_bits = state.path_history.bits if self.use_path_history else 0
+        index_mask = self.index_mask
+        mask64 = MASK64
+        multiplier = MIX_ROUND_MULTIPLIER
+        key1 = MIX_ROUND_KEY + 1
+        key2 = MIX_ROUND_KEY + 2
+        final_multiplier = MIX_FINAL_MULTIPLIER
+        acc0 = MIX_ROUND_KEY ^ ((pc + MIX_ROUND_KEY) & mask64)
+        acc0 = (acc0 * multiplier) & mask64
+        acc0 ^= acc0 >> 27
+        total = 0
+        selections = []
+        append = selections.append
+        for table, folded, path_mask in self._rows:
+            acc = acc0 ^ ((folded.fold + key1) & mask64)
+            acc = (acc * multiplier) & mask64
+            acc ^= acc >> 27
+            acc ^= ((path_bits & path_mask) + key2) & mask64
+            acc = (acc * multiplier) & mask64
+            acc ^= acc >> 27
+            acc = (acc * final_multiplier) & mask64
+            index = (acc ^ (acc >> 31)) & index_mask
+            append((table, index))
+            total += 2 * table.values[index] + 1
+        return selections, total
 
     def storage_bits(self) -> int:
         return sum(table.storage_bits() for table in self.tables)
@@ -164,13 +236,22 @@ class IMLICountHashedGlobalComponent(GlobalHistoryComponent):
     name = "global+imli"
 
     def select(self, pc: int, state: SharedState) -> List[CounterSelection]:
-        selections: List[CounterSelection] = []
+        path_bits = state.path_history.bits if self.use_path_history else 0
         imli_count = state.imli.count
-        for table, folded, length in zip(self.tables, self.folded, self.history_lengths):
-            path = state.path_history.value(min(length, 16)) if self.use_path_history else 0
-            index = mix_hash(pc, folded.value(), path, imli_count, width=self.index_bits)
-            selections.append((table, index))
-        return selections
+        index_mask = self.index_mask
+        return [
+            (
+                table,
+                mix_hash4(pc, folded.fold, path_bits & path_mask, imli_count)
+                & index_mask,
+            )
+            for table, folded, path_mask in self._rows
+        ]
+
+    def select_sum(self, pc: int, state: SharedState) -> tuple:
+        # Do not inherit the parent's fused three-field hash -- this
+        # component mixes in the IMLI counter as a fourth field.
+        return NeuralComponent.select_sum(self, pc, state)
 
 
 class LocalHistoryComponent(NeuralComponent):

@@ -127,8 +127,22 @@ class GEHLPredictor(BranchPredictor):
         self.adder.train(record, self._ctx.total, self._ctx.selections, self.state)
         self.state.update_conditional(record)
 
+    def predict_update(
+        self, pc: int, target: int, taken: bool, kind: int = 0, gap: int = 0
+    ) -> bool:
+        """Combined predict-and-train fast path (see ``docs/PERFORMANCE.md``)."""
+        state = self.state
+        adder = self.adder
+        total, selections = adder.compute(pc, state)
+        adder.train_fields(pc, target, taken, total, selections, state)
+        state.update_conditional_fields(pc, target, taken)
+        return total >= 0
+
     def observe_unconditional(self, record: BranchRecord) -> None:
         self.state.update_unconditional(record)
+
+    def observe_pc(self, pc: int) -> None:
+        self.state.observe_pc(pc)
 
     def storage_bits(self) -> int:
         return self.adder.storage_bits() + self.state.storage_bits()

@@ -73,6 +73,27 @@ class BimodalPredictor(BranchPredictor):
     def update(self, record: BranchRecord, prediction: bool) -> None:
         self.table.update(self._index(record.pc), record.taken)
 
+    def predict_update(
+        self, pc: int, target: int, taken: bool, kind: int = 0, gap: int = 0
+    ) -> bool:
+        """Combined predict-and-update fast path (hash the PC only once)."""
+        table = self.table
+        width = self.index_bits
+        value = pc ^ (pc >> width) ^ (pc >> (2 * width))
+        index = value & ((1 << width) - 1)
+        values = table.values
+        counter = values[index]
+        prediction = counter >= table.midpoint
+        if taken:
+            if counter < table.maximum:
+                values[index] = counter + 1
+        elif counter > 0:
+            values[index] = counter - 1
+        return prediction
+
+    def observe_pc(self, pc: int) -> None:
+        pass
+
     def storage_bits(self) -> int:
         return self.table.storage_bits()
 

@@ -101,14 +101,21 @@ class StatisticalCorrector:
         can index its TAGE-hashed table; it is passed explicitly as well to
         keep the decision logic readable.
         """
-        context = CorrectorContext()
-        context.total, context.selections = self.adder.compute(pc, self.state)
-        context.corrector_prediction = context.total >= 0
-        if (
-            context.corrector_prediction != tage_prediction
-            and abs(context.total) >= self.config.revert_margin
-        ):
-            context.final_prediction = context.corrector_prediction
+        return self.predict_into(pc, tage_prediction, CorrectorContext())
+
+    def predict_into(
+        self, pc: int, tage_prediction: bool, context: CorrectorContext
+    ) -> CorrectorContext:
+        """Fill ``context`` (reusable scratch) with the corrected prediction."""
+        total, selections = self.adder.compute(pc, self.state)
+        context.total = total
+        context.selections = selections
+        corrector_prediction = total >= 0
+        context.corrector_prediction = corrector_prediction
+        if corrector_prediction != tage_prediction and (
+            total if total >= 0 else -total
+        ) >= self.config.revert_margin:
+            context.final_prediction = corrector_prediction
             context.reverted = True
         else:
             context.final_prediction = tage_prediction
@@ -120,6 +127,20 @@ class StatisticalCorrector:
         force = context.final_prediction != record.taken
         self.adder.train(
             record, context.total, context.selections, self.state, force=force
+        )
+
+    def train_fields(
+        self, pc: int, target: int, taken: bool, context: CorrectorContext
+    ) -> None:
+        """Field-based form of :meth:`train` (the per-branch hot path)."""
+        self.adder.train_fields(
+            pc,
+            target,
+            taken,
+            context.total,
+            context.selections,
+            self.state,
+            force=context.final_prediction != taken,
         )
 
     def storage_bits(self) -> int:

@@ -119,6 +119,14 @@ class TAGEEngine:
             for _ in range(cfg.num_tables)
         ]
         self.base = UnsignedCounterArray(cfg.base_entries, cfg.base_counter_bits)
+        # Precomputed masks for the hot index/tag functions.
+        self._index_mask = mask(self.index_bits)
+        self._tag_mask = mask(cfg.tag_bits)
+        self._base_mask = mask(self.base_index_bits)
+        path_capacity = state.path_history.capacity
+        self._path_masks = [
+            mask(min(length, 16, path_capacity)) for length in self.history_lengths
+        ]
         # Folded histories: one fold at index width and one at tag width per
         # tagged table, kept coherent by the shared state.
         self.index_folds: List[FoldedHistory] = [
@@ -132,6 +140,19 @@ class TAGEEngine:
         self.tag_folds_alt: List[FoldedHistory] = [
             state.new_folded_history(length, max(cfg.tag_bits - 1, 1))
             for length in self.history_lengths
+        ]
+        # Per-table hot rows for predict_into: (tag list of the table,
+        # index fold, tag fold, alternate tag fold, path mask, table xor).
+        self._predict_rows = [
+            (
+                self.tables[table].tag,
+                self.index_folds[table],
+                self.tag_folds[table],
+                self.tag_folds_alt[table],
+                self._path_masks[table],
+                table << 3,
+            )
+            for table in range(cfg.num_tables)
         ]
         # use_alt_on_new_alloc counter: when positive, prefer the alternate
         # prediction for weak (newly allocated) provider entries.
@@ -177,42 +198,83 @@ class TAGEEngine:
 
     def predict(self, pc: int) -> TAGEPrediction:
         """Compute the TAGE prediction and its update context for ``pc``."""
-        cfg = self.config
-        result = TAGEPrediction()
-        result.base_index = self._base_index(pc)
-        base_prediction = self.base.predict(result.base_index)
-        result.indices = [self._table_index(pc, table) for table in range(cfg.num_tables)]
-        result.tags = [self._table_tag(pc, table) for table in range(cfg.num_tables)]
+        num_tables = self.config.num_tables
+        result = TAGEPrediction(indices=[0] * num_tables, tags=[0] * num_tables)
+        return self.predict_into(pc, result)
+
+    def predict_into(self, pc: int, result: TAGEPrediction) -> TAGEPrediction:
+        """Fill ``result`` (whose lists must be pre-sized) with the
+        prediction context for ``pc``.
+
+        This is the per-branch hot path: the index and tag hash functions
+        are inlined with hoisted locals so a reused scratch
+        :class:`TAGEPrediction` makes prediction allocation-free.
+        """
+        index_bits = self.index_bits
+        index_mask = self._index_mask
+        tag_bits = self.config.tag_bits
+        tag_mask = self._tag_mask
+        path_bits = self.state.path_history.bits
+        rows = self._predict_rows
+        tables = self.tables
+        indices = result.indices
+        tags = result.tags
+
+        pc_index_part = pc ^ (pc >> (index_bits - 2))
+        pc_tag_part = pc ^ (pc >> 7)
+        base_index = (pc ^ (pc >> self.base_index_bits)) & self._base_mask
+        result.base_index = base_index
+        base = self.base
+        base_prediction = base.values[base_index] >= base.midpoint
 
         provider = -1
         alt_provider = -1
-        for table in range(cfg.num_tables - 1, -1, -1):
-            if self.tables[table].tag[result.indices[table]] == result.tags[table]:
+        # Walk from the longest history down.  Once both the provider and
+        # the alternate provider are known, no shorter table's index or tag
+        # can be observed by the update phase (training touches the provider
+        # entry, allocation only tables *above* the provider), so the walk
+        # stops early; entries below it keep stale scratch values that are
+        # never read.
+        for table in range(len(rows) - 1, -1, -1):
+            table_tags, index_fold, tag_fold, alt_fold, path_mask, table_xor = rows[table]
+            value = (
+                pc_index_part
+                ^ index_fold.fold
+                ^ ((path_bits & path_mask) << 1)
+                ^ table_xor
+            )
+            index = (value ^ (value >> index_bits)) & index_mask
+            indices[table] = index
+            value = pc_tag_part ^ tag_fold.fold ^ (alt_fold.fold << 1)
+            tag = (value ^ (value >> tag_bits)) & tag_mask
+            tags[table] = tag
+            if table_tags[index] == tag:
                 if provider < 0:
                     provider = table
-                elif alt_provider < 0:
+                else:
                     alt_provider = table
                     break
         result.provider = provider
         result.alt_provider = alt_provider
 
         if alt_provider >= 0:
-            alt_ctr = self.tables[alt_provider].ctr[result.indices[alt_provider]]
-            result.alt_prediction = alt_ctr >= 0
+            alt_prediction = tables[alt_provider].ctr[indices[alt_provider]] >= 0
         else:
-            result.alt_prediction = base_prediction
+            alt_prediction = base_prediction
+        result.alt_prediction = alt_prediction
 
         if provider >= 0:
-            ctr = self.tables[provider].ctr[result.indices[provider]]
-            provider_prediction = ctr >= 0
+            ctr = tables[provider].ctr[indices[provider]]
             # A "weak" provider is a (likely newly allocated) entry whose
             # counter is at one of the two central values.
-            result.provider_weak = ctr in (0, -1)
-            if result.provider_weak and self._use_alt >= 0:
-                result.prediction = result.alt_prediction
+            provider_weak = ctr == 0 or ctr == -1
+            result.provider_weak = provider_weak
+            if provider_weak and self._use_alt >= 0:
+                result.prediction = alt_prediction
             else:
-                result.prediction = provider_prediction
+                result.prediction = ctr >= 0
         else:
+            result.provider_weak = False
             result.prediction = base_prediction
         return result
 
@@ -222,46 +284,68 @@ class TAGEEngine:
 
     def train(self, record: BranchRecord, prediction: TAGEPrediction) -> None:
         """Update TAGE state with the resolved outcome of ``record``."""
+        self.train_fields(record.pc, record.taken, prediction)
+
+    def train_fields(self, pc: int, taken: bool, prediction: TAGEPrediction) -> None:
+        """Field-based equivalent of :meth:`train` (the per-branch hot path)."""
         cfg = self.config
-        taken = record.taken
         provider = prediction.provider
         mispredicted = prediction.prediction != taken
 
         if provider >= 0:
             table = self.tables[provider]
             index = prediction.indices[provider]
-            provider_prediction = table.ctr[index] >= 0
+            ctr = table.ctr
+            useful = table.useful
+            alt_prediction = prediction.alt_prediction
+            provider_prediction = ctr[index] >= 0
             # Track whether the alternate prediction would have been better
             # for weak providers (use_alt_on_na policy).
-            if prediction.provider_weak and provider_prediction != prediction.alt_prediction:
-                if prediction.alt_prediction == taken:
+            if prediction.provider_weak and provider_prediction != alt_prediction:
+                if alt_prediction == taken:
                     if self._use_alt < self._use_alt_max:
                         self._use_alt += 1
                 elif self._use_alt > self._use_alt_min:
                     self._use_alt -= 1
             # Useful bits: the provider was useful when it disagreed with the
             # alternate prediction and was right.
-            if provider_prediction != prediction.alt_prediction:
+            if provider_prediction != alt_prediction:
                 if provider_prediction == taken:
-                    if table.useful[index] < table.useful_max:
-                        table.useful[index] += 1
-                elif table.useful[index] > 0:
-                    table.useful[index] -= 1
-            table.update_counter(index, taken)
+                    if useful[index] < table.useful_max:
+                        useful[index] += 1
+                elif useful[index] > 0:
+                    useful[index] -= 1
+            value = ctr[index]
+            if taken:
+                if value < table.counter_max:
+                    ctr[index] = value + 1
+            elif value > table.counter_min:
+                ctr[index] = value - 1
             # Keep the base table warm when the provider entry is not yet
             # confidently useful.
-            if table.useful[index] == 0:
-                self.base.update(prediction.base_index, taken)
+            if useful[index] == 0:
+                self._update_base(prediction.base_index, taken)
         else:
-            self.base.update(prediction.base_index, taken)
+            self._update_base(prediction.base_index, taken)
 
         if mispredicted and provider < cfg.num_tables - 1:
-            self._allocate(record.pc, taken, prediction)
+            self._allocate(pc, taken, prediction)
 
         self._updates_since_reset += 1
         if self._updates_since_reset >= cfg.useful_reset_period:
             self._updates_since_reset = 0
             self._decay_useful()
+
+    def _update_base(self, index: int, taken: bool) -> None:
+        """Inlined saturating step of the bimodal base table."""
+        base = self.base
+        values = base.values
+        value = values[index]
+        if taken:
+            if value < base.maximum:
+                values[index] = value + 1
+        elif value > 0:
+            values[index] = value - 1
 
     def _allocate(self, pc: int, taken: bool, prediction: TAGEPrediction) -> None:
         """Allocate entries in longer-history tables after a misprediction."""
@@ -321,6 +405,10 @@ class TAGEPredictor(BranchPredictor):
         )
         self.engine = TAGEEngine(self.state, config)
         self._last: Optional[TAGEPrediction] = None
+        self._scratch = TAGEPrediction(
+            indices=[0] * self.engine.config.num_tables,
+            tags=[0] * self.engine.config.num_tables,
+        )
 
     def predict(self, record: BranchRecord) -> bool:
         self._last = self.engine.predict(record.pc)
@@ -332,8 +420,22 @@ class TAGEPredictor(BranchPredictor):
         self.engine.train(record, self._last)
         self.state.update_conditional(record)
 
+    def predict_update(
+        self, pc: int, target: int, taken: bool, kind: int = 0, gap: int = 0
+    ) -> bool:
+        """Combined predict-and-train fast path (see ``docs/PERFORMANCE.md``)."""
+        engine = self.engine
+        context = engine.predict_into(pc, self._scratch)
+        prediction = context.prediction
+        engine.train_fields(pc, taken, context)
+        self.state.update_conditional_fields(pc, target, taken)
+        return prediction
+
     def observe_unconditional(self, record: BranchRecord) -> None:
         self.state.update_unconditional(record)
+
+    def observe_pc(self, pc: int) -> None:
+        self.state.observe_pc(pc)
 
     def storage_bits(self) -> int:
         return self.engine.storage_bits() + self.state.storage_bits()

@@ -79,6 +79,11 @@ class TAGEGSCPredictor(BranchPredictor):
         )
         self._tage_ctx: Optional[TAGEPrediction] = None
         self._sc_ctx: Optional[CorrectorContext] = None
+        num_tables = self.config.tage.num_tables
+        self._tage_scratch = TAGEPrediction(
+            indices=[0] * num_tables, tags=[0] * num_tables
+        )
+        self._sc_scratch = CorrectorContext()
 
     def predict(self, record: BranchRecord) -> bool:
         tage_ctx = self.tage.predict(record.pc)
@@ -95,8 +100,27 @@ class TAGEGSCPredictor(BranchPredictor):
         self.corrector.train(record, self._sc_ctx)
         self.state.update_conditional(record)
 
+    def predict_update(
+        self, pc: int, target: int, taken: bool, kind: int = 0, gap: int = 0
+    ) -> bool:
+        """Combined predict-and-train fast path (see ``docs/PERFORMANCE.md``)."""
+        state = self.state
+        tage = self.tage
+        tage_ctx = tage.predict_into(pc, self._tage_scratch)
+        tage_prediction = tage_ctx.prediction
+        state.tage_prediction = tage_prediction
+        sc_ctx = self.corrector.predict_into(pc, tage_prediction, self._sc_scratch)
+        prediction = sc_ctx.final_prediction
+        tage.train_fields(pc, taken, tage_ctx)
+        self.corrector.train_fields(pc, target, taken, sc_ctx)
+        state.update_conditional_fields(pc, target, taken)
+        return prediction
+
     def observe_unconditional(self, record: BranchRecord) -> None:
         self.state.update_unconditional(record)
+
+    def observe_pc(self, pc: int) -> None:
+        self.state.observe_pc(pc)
 
     def storage_bits(self) -> int:
         return (

@@ -8,17 +8,31 @@ passed to the predictor so path-history-like structures can observe them.
 
 Accuracy is reported in MisPredictions per Kilo Instructions (MPKI), the
 metric used throughout the paper.
+
+Two execution strategies are provided behind one entry point:
+
+* the *reference* path iterates :class:`~repro.trace.branch.BranchRecord`
+  views and drives the classic ``predict()`` / ``update()`` protocol;
+* the *fast* path iterates the trace's columnar storage directly and drives
+  the combined ``predict_update(pc, target, taken, kind, gap)`` /
+  ``observe_pc(pc)`` protocol for predictors that opt in (see
+  ``docs/PERFORMANCE.md``).
+
+Both paths produce bit-identical results; :func:`simulate` picks the fast
+path automatically whenever the predictor and the trace support it.
 """
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.predictors.base import BranchPredictor
+from repro.trace.branch import CONDITIONAL_CODE
 from repro.trace.trace import Trace
 
-__all__ = ["SimulationResult", "simulate"]
+__all__ = ["SimulationResult", "simulate", "supports_fast_path"]
 
 
 @dataclass
@@ -62,11 +76,21 @@ class SimulationResult:
         )
 
 
+def supports_fast_path(predictor: BranchPredictor, trace: Trace) -> bool:
+    """``True`` when ``predictor`` and ``trace`` support the columnar fast path."""
+    return (
+        getattr(predictor, "predict_update", None) is not None
+        and getattr(predictor, "observe_pc", None) is not None
+        and getattr(trace, "columns", None) is not None
+    )
+
+
 def simulate(
     predictor: BranchPredictor,
     trace: Trace,
     warmup_fraction: float = 0.0,
     track_per_pc: bool = False,
+    use_fast_path: Optional[bool] = None,
 ) -> SimulationResult:
     """Replay ``trace`` through ``predictor`` and measure its accuracy.
 
@@ -84,18 +108,59 @@ def simulate(
     track_per_pc:
         Record per-static-branch misprediction counts (used by the analysis
         helpers to identify which branch classes a component fixes).
+    use_fast_path:
+        ``None`` (default) picks the columnar fast path automatically when
+        the predictor opts into the combined-step protocol; ``False`` forces
+        the record-based reference path; ``True`` requires the fast path and
+        raises :class:`ValueError` when it is unsupported.  Both paths
+        produce bit-identical results.
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError(
             f"warmup fraction must be in [0, 1), got {warmup_fraction}"
         )
+    fast_available = supports_fast_path(predictor, trace)
+    if use_fast_path is None:
+        use_fast_path = fast_available
+    elif use_fast_path and not fast_available:
+        raise ValueError(
+            f"predictor {predictor.name!r} does not support the fast-path "
+            "protocol (predict_update / observe_pc)"
+        )
     total_conditional = trace.conditional_count
     warmup_limit = int(total_conditional * warmup_fraction)
 
+    if use_fast_path:
+        mispredictions, measured_conditional, measured_instructions, per_pc = (
+            _simulate_columns(predictor, trace, warmup_limit, track_per_pc)
+        )
+    else:
+        mispredictions, measured_conditional, measured_instructions, per_pc = (
+            _simulate_records(predictor, trace, warmup_limit, track_per_pc)
+        )
+
+    return SimulationResult(
+        trace_name=trace.name,
+        predictor_name=predictor.name,
+        conditional_branches=measured_conditional,
+        mispredictions=mispredictions,
+        instructions=measured_instructions,
+        storage_bits=predictor.storage_bits(),
+        per_pc_mispredictions=per_pc,
+    )
+
+
+def _simulate_records(
+    predictor: BranchPredictor,
+    trace: Trace,
+    warmup_limit: int,
+    track_per_pc: bool,
+) -> tuple:
+    """Reference path: record views and the predict()/update() protocol."""
     mispredictions = 0
     measured_conditional = 0
     measured_instructions = 0
-    per_pc: Dict[int, int] = {}
+    per_pc: Dict[int, int] = defaultdict(int)
     seen_conditional = 0
 
     for record in trace:
@@ -114,14 +179,56 @@ def simulate(
         if prediction != record.taken:
             mispredictions += 1
             if track_per_pc:
-                per_pc[record.pc] = per_pc.get(record.pc, 0) + 1
+                per_pc[record.pc] += 1
 
-    return SimulationResult(
-        trace_name=trace.name,
-        predictor_name=predictor.name,
-        conditional_branches=measured_conditional,
-        mispredictions=mispredictions,
-        instructions=measured_instructions,
-        storage_bits=predictor.storage_bits(),
-        per_pc_mispredictions=per_pc,
-    )
+    return mispredictions, measured_conditional, measured_instructions, dict(per_pc)
+
+
+def _simulate_columns(
+    predictor: BranchPredictor,
+    trace: Trace,
+    warmup_limit: int,
+    track_per_pc: bool,
+) -> tuple:
+    """Fast path: columnar iteration and the combined-step protocol."""
+    pcs, targets, takens, kinds, gaps = trace.columns()
+    predict_update = predictor.predict_update
+    observe_pc = predictor.observe_pc
+    conditional_code = CONDITIONAL_CODE
+    mispredictions = 0
+
+    if warmup_limit == 0 and not track_per_pc:
+        # The hottest loop: no warm-up or per-PC bookkeeping, and the
+        # measured totals equal the trace's cached aggregates.
+        for pc, target, taken, kind, gap in zip(pcs, targets, takens, kinds, gaps):
+            if kind != conditional_code:
+                observe_pc(pc)
+            elif predict_update(pc, target, taken, kind, gap) != taken:
+                mispredictions += 1
+        return mispredictions, trace.conditional_count, trace.instruction_count, {}
+
+    measured_conditional = 0
+    measured_instructions = 0
+    per_pc: Dict[int, int] = defaultdict(int)
+    seen_conditional = 0
+    for index in range(len(pcs)):
+        pc = pcs[index]
+        kind = kinds[index]
+        if kind != conditional_code:
+            observe_pc(pc)
+            if seen_conditional >= warmup_limit:
+                measured_instructions += gaps[index] + 1
+            continue
+        taken = takens[index]
+        prediction = predict_update(pc, targets[index], taken, kind, gaps[index])
+        seen_conditional += 1
+        if seen_conditional <= warmup_limit:
+            continue
+        measured_conditional += 1
+        measured_instructions += gaps[index] + 1
+        if prediction != taken:
+            mispredictions += 1
+            if track_per_pc:
+                per_pc[pc] += 1
+
+    return mispredictions, measured_conditional, measured_instructions, dict(per_pc)

@@ -7,12 +7,22 @@ configurations over every trace, and aggregate per-suite average MPKI.
 several experiments sharing a configuration (for example Table 1 and
 Figure 8, which both need ``tage-gsc`` and ``tage-gsc+imli``) only pay for
 the simulation once.
+
+With ``max_workers`` set, the runner fans independent ``(configuration,
+trace)`` simulations across a :class:`concurrent.futures.ProcessPoolExecutor`
+-- each pair is a self-contained unit of work (a fresh predictor trained on
+one trace), so the parallel results are bit-identical to the serial ones and
+are merged back into the same memoisation cache.  Only configurations built
+from the composite registry by name can be dispatched to workers;
+configurations with custom (potentially unpicklable) factories fall back to
+in-process simulation transparently.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.predictors.base import BranchPredictor
 from repro.predictors.composites import build_named
@@ -23,6 +33,20 @@ from repro.trace.trace import Trace
 __all__ = ["ConfigurationRun", "SuiteRunner"]
 
 PredictorFactory = Callable[[], BranchPredictor]
+
+#: Memoisation key: (configuration name, per-PC tracking requested).  The
+#: tracking flag is part of the key because a run simulated without per-PC
+#: tracking has empty ``per_pc_mispredictions`` and must not satisfy a
+#: later request that needs them.
+_CacheKey = Tuple[str, bool]
+
+
+def _simulate_named(
+    configuration: str, profile: str, trace: Trace, track_per_pc: bool
+) -> SimulationResult:
+    """Worker entry point: build a registry predictor and simulate one trace."""
+    predictor = build_named(configuration, profile=profile)
+    return simulate(predictor, trace, track_per_pc=track_per_pc)
 
 
 @dataclass
@@ -67,18 +91,35 @@ class SuiteRunner:
     profile:
         Size profile passed to :func:`repro.predictors.composites.build_named`
         when a configuration is referenced by name.
+    max_workers:
+        When greater than 1, registry-named configurations are simulated in
+        a process pool with this many workers; ``None`` or 1 keeps
+        everything in-process.
     """
 
-    def __init__(self, traces: Sequence[Trace], profile: str = "default") -> None:
+    def __init__(
+        self,
+        traces: Sequence[Trace],
+        profile: str = "default",
+        max_workers: Optional[int] = None,
+    ) -> None:
         if not traces:
             raise ValueError("the runner needs at least one trace")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
         self.traces = list(traces)
         self.profile = profile
-        self._cache: Dict[str, ConfigurationRun] = {}
+        self.max_workers = max_workers
+        self._cache: Dict[_CacheKey, ConfigurationRun] = {}
+        self._pool: Optional[ProcessPoolExecutor] = None
 
     def trace_names(self) -> List[str]:
         """Names of the traces the runner evaluates on."""
         return [trace.name for trace in self.traces]
+
+    @property
+    def _parallel(self) -> bool:
+        return self.max_workers is not None and self.max_workers > 1 and len(self.traces) > 1
 
     def run(
         self,
@@ -91,35 +132,125 @@ class SuiteRunner:
         ``factory`` overrides how the predictor is built; by default the
         configuration name is looked up in the composite registry.  A fresh
         predictor instance is built per trace, as in the championship
-        framework.
+        framework.  Results are memoised per ``(configuration,
+        track_per_pc)`` so a cached run without per-PC data is never
+        returned when per-PC data is requested.
         """
-        cached = self._cache.get(configuration)
+        key = (configuration, bool(track_per_pc))
+        cached = self._cache.get(key)
         if cached is not None:
             return cached
+        if factory is None and self._parallel:
+            run = self._run_parallel([configuration], track_per_pc)[configuration]
+        else:
+            run = self._run_serial(configuration, factory, track_per_pc)
+        self._cache[key] = run
+        return run
+
+    def _run_serial(
+        self,
+        configuration: str,
+        factory: Optional[PredictorFactory],
+        track_per_pc: bool,
+    ) -> ConfigurationRun:
         if factory is None:
             factory = lambda: build_named(configuration, profile=self.profile)  # noqa: E731
         run = ConfigurationRun(configuration=configuration)
         for trace in self.traces:
             predictor = factory()
             run.results.append(simulate(predictor, trace, track_per_pc=track_per_pc))
-        self._cache[configuration] = run
         return run
+
+    def _get_pool(self) -> ProcessPoolExecutor:
+        """Worker pool, created on first use and reused across runs.
+
+        Reusing the pool avoids paying process start-up once per
+        configuration when experiments call :meth:`run` one configuration
+        at a time.
+        """
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op when none was created)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _run_parallel(
+        self, configurations: Sequence[str], track_per_pc: bool
+    ) -> Dict[str, ConfigurationRun]:
+        """Fan every (configuration, trace) pair across the process pool."""
+        runs = {
+            configuration: ConfigurationRun(configuration=configuration)
+            for configuration in configurations
+        }
+        pool = self._get_pool()
+        futures = [
+            (
+                configuration,
+                pool.submit(
+                    _simulate_named,
+                    configuration,
+                    self.profile,
+                    trace,
+                    track_per_pc,
+                ),
+            )
+            for configuration in configurations
+            for trace in self.traces
+        ]
+        # Futures were submitted in trace order per configuration, so
+        # appending in submission order preserves the serial layout.
+        for configuration, future in futures:
+            runs[configuration].results.append(future.result())
+        return runs
 
     def run_many(
         self,
         configurations: Iterable[str],
         factories: Optional[Mapping[str, PredictorFactory]] = None,
+        track_per_pc: bool = False,
     ) -> Dict[str, ConfigurationRun]:
-        """Run several configurations and return them keyed by name."""
+        """Run several configurations and return them keyed by name.
+
+        With ``max_workers`` set, all missing registry-named configurations
+        are dispatched to the process pool as one batch of
+        ``(configuration, trace)`` pairs, which keeps every worker busy even
+        when individual configurations have fewer traces than workers.
+        """
         factories = factories or {}
-        return {
-            configuration: self.run(configuration, factories.get(configuration))
-            for configuration in configurations
-        }
+        configurations = list(configurations)
+        runs: Dict[str, ConfigurationRun] = {}
+        if self._parallel:
+            missing = [
+                configuration
+                for configuration in configurations
+                if (configuration, bool(track_per_pc)) not in self._cache
+                and configuration not in factories
+            ]
+            if missing:
+                for configuration, run in self._run_parallel(
+                    missing, track_per_pc
+                ).items():
+                    self._cache[(configuration, bool(track_per_pc))] = run
+        for configuration in configurations:
+            runs[configuration] = self.run(
+                configuration, factories.get(configuration), track_per_pc
+            )
+        return runs
 
     def invalidate(self, configuration: Optional[str] = None) -> None:
         """Drop memoised results (all of them, or one configuration)."""
         if configuration is None:
             self._cache.clear()
         else:
-            self._cache.pop(configuration, None)
+            for track_per_pc in (False, True):
+                self._cache.pop((configuration, track_per_pc), None)

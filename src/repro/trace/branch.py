@@ -16,7 +16,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
-__all__ = ["BranchKind", "BranchRecord", "conditional_branch"]
+__all__ = [
+    "BranchKind",
+    "BranchRecord",
+    "conditional_branch",
+    "CONDITIONAL_CODE",
+    "KIND_FROM_CODE",
+    "KIND_TO_CODE",
+]
 
 
 class BranchKind(Enum):
@@ -32,6 +39,27 @@ class BranchKind(Enum):
     def is_conditional(self) -> bool:
         """``True`` only for direct conditional branches."""
         return self is BranchKind.CONDITIONAL
+
+
+#: Stable small-integer codes for each branch kind, used by the columnar
+#: trace storage and the binary trace format.  Codes are part of the binary
+#: format, so existing values must never be renumbered.
+KIND_TO_CODE = {
+    BranchKind.CONDITIONAL: 0,
+    BranchKind.UNCONDITIONAL: 1,
+    BranchKind.CALL: 2,
+    BranchKind.RETURN: 3,
+    BranchKind.INDIRECT: 4,
+}
+
+#: Inverse of :data:`KIND_TO_CODE`, indexed by code.
+KIND_FROM_CODE = tuple(
+    kind for kind, _ in sorted(KIND_TO_CODE.items(), key=lambda item: item[1])
+)
+
+#: Code of :attr:`BranchKind.CONDITIONAL` (the hot comparison in the fast
+#: simulation loop).
+CONDITIONAL_CODE = KIND_TO_CODE[BranchKind.CONDITIONAL]
 
 
 @dataclass(frozen=True)

@@ -1,101 +1,295 @@
 """Trace container and serialisation.
 
-A :class:`Trace` is an in-memory, ordered collection of
-:class:`~repro.trace.branch.BranchRecord` objects together with a name and
-free-form metadata describing how it was generated.  Traces are the unit of
-work for the simulator (:mod:`repro.sim.engine`) and the unit of naming in
-the benchmark suites (:mod:`repro.workloads.suites`).
+A :class:`Trace` is an in-memory, ordered collection of dynamic branch
+records together with a name and free-form metadata describing how it was
+generated.  Traces are the unit of work for the simulator
+(:mod:`repro.sim.engine`) and the unit of naming in the benchmark suites
+(:mod:`repro.workloads.suites`).
 
-The on-disk format is a small line-oriented text format (one record per
-line) chosen for debuggability; synthetic traces are cheap to regenerate so
-compactness is not a priority.
+Internally a trace stores its records in *columnar* (structure-of-arrays)
+form: one compact :mod:`array` per field (pc, target, taken, kind,
+instruction gap).  The columnar layout is what the fast simulation loop in
+:mod:`repro.sim.engine` iterates over directly; the record-oriented API
+(`trace[i]`, iteration, ``trace.records``) is preserved through lazy
+:class:`~repro.trace.branch.BranchRecord` views so existing callers are
+unaffected.
+
+Two on-disk formats are supported:
+
+* a line-oriented text format (one record per line) chosen for
+  debuggability, and
+* a compact binary format (raw column dumps behind a small header) used by
+  the workload generation cache; see ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+import struct
+import sys
+from array import array
+from collections import Counter
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Sequence
+from typing import Dict, Iterable, Iterator, List, Sequence, Union, overload
 
-from repro.trace.branch import BranchKind, BranchRecord
+from repro.trace.branch import (
+    CONDITIONAL_CODE,
+    KIND_FROM_CODE,
+    KIND_TO_CODE,
+    BranchKind,
+    BranchRecord,
+)
 
-__all__ = ["Trace", "save_trace", "load_trace"]
+__all__ = [
+    "Trace",
+    "save_trace",
+    "load_trace",
+    "save_trace_binary",
+    "load_trace_binary",
+]
 
 _FORMAT_VERSION = 1
 
+#: Magic prefix of the binary trace format.
+_BINARY_MAGIC = b"RPTRACE1"
 
-@dataclass
+
+class _RecordsView(Sequence[BranchRecord]):
+    """Read-only record-oriented view over a columnar :class:`Trace`.
+
+    Materialises :class:`BranchRecord` objects lazily, so code written
+    against the original list-of-records representation (iteration,
+    indexing, slicing, equality) keeps working without the trace having to
+    hold per-record objects.
+    """
+
+    __slots__ = ("_trace",)
+
+    def __init__(self, trace: "Trace") -> None:
+        self._trace = trace
+
+    def __len__(self) -> int:
+        return len(self._trace)
+
+    @overload
+    def __getitem__(self, index: int) -> BranchRecord: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> List[BranchRecord]: ...
+
+    def __getitem__(
+        self, index: Union[int, slice]
+    ) -> Union[BranchRecord, List[BranchRecord]]:
+        if isinstance(index, slice):
+            trace = self._trace
+            return [trace.record_at(i) for i in range(*index.indices(len(trace)))]
+        return self._trace.record_at(index)
+
+    def __iter__(self) -> Iterator[BranchRecord]:
+        return iter(self._trace)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (_RecordsView, list, tuple)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_RecordsView({len(self)} records of {self._trace.name!r})"
+
+
 class Trace:
-    """An ordered sequence of dynamic branch records.
+    """An ordered sequence of dynamic branch records in columnar storage.
 
-    Attributes
+    Parameters
     ----------
     name:
         Human-readable benchmark name, e.g. ``"SPEC2K6-12"``.
     records:
-        The dynamic branches in program order.
+        Optional initial records (any iterable of
+        :class:`~repro.trace.branch.BranchRecord`).
     metadata:
         Free-form generator parameters (kernel name, seed, sizes) recorded
         for reproducibility.
     """
 
-    name: str
-    records: List[BranchRecord] = field(default_factory=list)
-    metadata: Dict[str, str] = field(default_factory=dict)
+    __slots__ = (
+        "name",
+        "metadata",
+        "_pc",
+        "_target",
+        "_taken",
+        "_kind",
+        "_gap",
+        "_conditional_count",
+        "_instruction_count",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        records: Iterable[BranchRecord] | None = None,
+        metadata: Dict[str, str] | None = None,
+    ) -> None:
+        self.name = name
+        self.metadata: Dict[str, str] = dict(metadata) if metadata else {}
+        self._pc = array("q")
+        self._target = array("q")
+        self._taken = array("b")
+        self._kind = array("b")
+        self._gap = array("q")
+        # Both aggregate counts are maintained incrementally on append and
+        # extend, so reading them is O(1) however often the simulator asks.
+        self._conditional_count = 0
+        self._instruction_count = 0
+        if records is not None:
+            self.extend(records)
+
+    # ------------------------------------------------------------------ #
+    # Record-oriented API (compatible with the original list storage)
+    # ------------------------------------------------------------------ #
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self._pc)
 
     def __iter__(self) -> Iterator[BranchRecord]:
-        return iter(self.records)
+        pcs, targets, takens, kinds, gaps = (
+            self._pc, self._target, self._taken, self._kind, self._gap,
+        )
+        kind_from_code = KIND_FROM_CODE
+        for index in range(len(pcs)):
+            yield BranchRecord(
+                pc=pcs[index],
+                target=targets[index],
+                taken=bool(takens[index]),
+                kind=kind_from_code[kinds[index]],
+                instruction_gap=gaps[index],
+            )
 
     def __getitem__(self, index: int) -> BranchRecord:
-        return self.records[index]
+        return self.record_at(index)
+
+    def record_at(self, index: int) -> BranchRecord:
+        """Materialise the :class:`BranchRecord` view of record ``index``."""
+        return BranchRecord(
+            pc=self._pc[index],
+            target=self._target[index],
+            taken=bool(self._taken[index]),
+            kind=KIND_FROM_CODE[self._kind[index]],
+            instruction_gap=self._gap[index],
+        )
+
+    @property
+    def records(self) -> _RecordsView:
+        """Record-oriented view of the trace (lazy, read-only)."""
+        return _RecordsView(self)
 
     def append(self, record: BranchRecord) -> None:
         """Append one dynamic branch to the trace."""
-        self.records.append(record)
+        kind_code = KIND_TO_CODE[record.kind]
+        self._pc.append(record.pc)
+        self._target.append(record.target)
+        self._taken.append(record.taken)
+        self._kind.append(kind_code)
+        gap = record.instruction_gap
+        self._gap.append(gap)
+        if kind_code == CONDITIONAL_CODE:
+            self._conditional_count += 1
+        self._instruction_count += gap + 1
 
     def extend(self, records: Iterable[BranchRecord]) -> None:
         """Append several dynamic branches to the trace."""
-        self.records.extend(records)
+        if isinstance(records, Trace):
+            self._extend_columns(records)
+            return
+        append = self.append
+        for record in records:
+            append(record)
+
+    def _extend_columns(self, other: "Trace") -> None:
+        """Bulk-append another trace's columns (no record materialisation)."""
+        self._pc.extend(other._pc)
+        self._target.extend(other._target)
+        self._taken.extend(other._taken)
+        self._kind.extend(other._kind)
+        self._gap.extend(other._gap)
+        self._conditional_count += other._conditional_count
+        self._instruction_count += other._instruction_count
+
+    # ------------------------------------------------------------------ #
+    # Columnar access (used by the fast simulation loop)
+    # ------------------------------------------------------------------ #
+
+    def columns(self) -> tuple:
+        """Return the raw ``(pc, target, taken, kind, gap)`` column arrays.
+
+        ``taken`` and ``kind`` are stored as small integers; kind codes are
+        :data:`repro.trace.branch.KIND_TO_CODE`.  The arrays are the trace's
+        own storage: callers must treat them as read-only.
+        """
+        return self._pc, self._target, self._taken, self._kind, self._gap
+
+    # ------------------------------------------------------------------ #
+    # Aggregate statistics
+    # ------------------------------------------------------------------ #
 
     @property
     def conditional_count(self) -> int:
-        """Number of conditional branch records in the trace."""
-        return sum(1 for record in self.records if record.is_conditional)
+        """Number of conditional branch records in the trace (cached)."""
+        return self._conditional_count
 
     @property
     def instruction_count(self) -> int:
-        """Total instructions represented by the trace.
+        """Total instructions represented by the trace (cached).
 
         Every branch counts as one instruction plus its ``instruction_gap``
         of preceding non-branch instructions.
         """
-        return sum(record.instruction_gap + 1 for record in self.records)
+        return self._instruction_count
 
     def static_branches(self) -> Dict[int, int]:
         """Map of conditional branch PC to dynamic execution count."""
-        counts: Dict[int, int] = {}
-        for record in self.records:
-            if record.is_conditional:
-                counts[record.pc] = counts.get(record.pc, 0) + 1
-        return counts
+        kinds = self._kind
+        pcs = self._pc
+        counts: Counter[int] = Counter(
+            pcs[index]
+            for index in range(len(pcs))
+            if kinds[index] == CONDITIONAL_CODE
+        )
+        return dict(counts)
 
     def slice(self, start: int, stop: int | None = None) -> "Trace":
         """Return a new trace containing records ``start:stop``."""
-        return Trace(
-            name=self.name,
-            records=self.records[start:stop],
-            metadata=dict(self.metadata),
+        part = Trace(name=self.name, metadata=dict(self.metadata))
+        view = slice(start, stop)
+        part._pc = self._pc[view]
+        part._target = self._target[view]
+        part._taken = self._taken[view]
+        part._kind = self._kind[view]
+        part._gap = self._gap[view]
+        kinds = part._kind
+        part._conditional_count = sum(
+            1 for code in kinds if code == CONDITIONAL_CODE
         )
+        part._instruction_count = sum(part._gap) + len(part._gap)
+        return part
 
     def taken_rate(self) -> float:
         """Fraction of conditional branches that are taken."""
-        conditional = [record for record in self.records if record.is_conditional]
-        if not conditional:
+        if not self._conditional_count:
             return 0.0
-        return sum(record.taken for record in conditional) / len(conditional)
+        kinds = self._kind
+        takens = self._taken
+        taken = sum(
+            takens[index]
+            for index in range(len(kinds))
+            if kinds[index] == CONDITIONAL_CODE
+        )
+        return taken / self._conditional_count
+
+
+# --------------------------------------------------------------------------- #
+# Text serialisation
+# --------------------------------------------------------------------------- #
 
 
 def save_trace(trace: Trace, path: str | Path) -> None:
@@ -104,10 +298,12 @@ def save_trace(trace: Trace, path: str | Path) -> None:
     lines = [f"# repro-trace v{_FORMAT_VERSION}", f"# name: {trace.name}"]
     for key, value in sorted(trace.metadata.items()):
         lines.append(f"# meta: {key}={value}")
-    for record in trace.records:
+    pcs, targets, takens, kinds, gaps = trace.columns()
+    kind_values = [kind.value for kind in KIND_FROM_CODE]
+    for index in range(len(pcs)):
         lines.append(
-            f"{record.pc} {record.target} {int(record.taken)} "
-            f"{record.kind.value} {record.instruction_gap}"
+            f"{pcs[index]} {targets[index]} {takens[index]} "
+            f"{kind_values[kinds[index]]} {gaps[index]}"
         )
     path.write_text("\n".join(lines) + "\n", encoding="utf-8")
 
@@ -126,11 +322,18 @@ def _parse_record(fields: Sequence[str], line_number: int) -> BranchRecord:
 
 
 def load_trace(path: str | Path) -> Trace:
-    """Read a trace previously written by :func:`save_trace`."""
+    """Read a trace previously written by :func:`save_trace`.
+
+    Binary traces (written by :func:`save_trace_binary`) are detected by
+    their magic prefix and dispatched automatically.
+    """
     path = Path(path)
+    with path.open("rb") as stream:
+        if stream.read(len(_BINARY_MAGIC)) == _BINARY_MAGIC:
+            return load_trace_binary(path)
     name = path.stem
     metadata: Dict[str, str] = {}
-    records: List[BranchRecord] = []
+    trace = Trace(name=name)
     for line_number, raw_line in enumerate(
         path.read_text(encoding="utf-8").splitlines(), start=1
     ):
@@ -145,5 +348,78 @@ def load_trace(path: str | Path) -> Trace:
                 key, _, value = body[len("meta:"):].strip().partition("=")
                 metadata[key.strip()] = value.strip()
             continue
-        records.append(_parse_record(line.split(), line_number))
-    return Trace(name=name, records=records, metadata=metadata)
+        trace.append(_parse_record(line.split(), line_number))
+    trace.name = name
+    trace.metadata = metadata
+    return trace
+
+
+# --------------------------------------------------------------------------- #
+# Binary serialisation
+# --------------------------------------------------------------------------- #
+
+# Layout: magic, then a little-endian uint32 JSON header length, the JSON
+# header (name, metadata, record count), then the five column dumps in
+# columns() order.  Column typecodes are fixed by the format: "q" for
+# pc/target/gap, "b" for taken/kind.  Multi-byte columns are stored
+# little-endian regardless of host byte order.
+_HEADER_LENGTH = struct.Struct("<I")
+_COLUMN_TYPECODES = ("q", "q", "b", "b", "q")
+_BIG_ENDIAN_HOST = sys.byteorder == "big"
+
+
+def save_trace_binary(trace: Trace, path: str | Path) -> None:
+    """Write ``trace`` to ``path`` in the compact binary format."""
+    path = Path(path)
+    header = json.dumps(
+        {
+            "version": _FORMAT_VERSION,
+            "name": trace.name,
+            "metadata": trace.metadata,
+            "count": len(trace),
+        },
+        ensure_ascii=False,
+    ).encode("utf-8")
+    with path.open("wb") as stream:
+        stream.write(_BINARY_MAGIC)
+        stream.write(_HEADER_LENGTH.pack(len(header)))
+        stream.write(header)
+        for column in trace.columns():
+            if _BIG_ENDIAN_HOST and column.itemsize > 1:
+                column = array(column.typecode, column)
+                column.byteswap()
+            column.tofile(stream)
+
+
+def load_trace_binary(path: str | Path) -> Trace:
+    """Read a trace previously written by :func:`save_trace_binary`."""
+    path = Path(path)
+    with path.open("rb") as stream:
+        magic = stream.read(len(_BINARY_MAGIC))
+        if magic != _BINARY_MAGIC:
+            raise ValueError(f"{path}: not a binary repro trace (bad magic {magic!r})")
+        (header_length,) = _HEADER_LENGTH.unpack(stream.read(_HEADER_LENGTH.size))
+        header = json.loads(stream.read(header_length).decode("utf-8"))
+        if header.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported binary trace version {header.get('version')!r}"
+            )
+        count = int(header["count"])
+        trace = Trace(
+            name=str(header["name"]),
+            metadata={str(k): str(v) for k, v in header.get("metadata", {}).items()},
+        )
+        columns = []
+        for typecode in _COLUMN_TYPECODES:
+            column = array(typecode)
+            if count:
+                column.fromfile(stream, count)
+                if _BIG_ENDIAN_HOST and column.itemsize > 1:
+                    column.byteswap()
+            columns.append(column)
+    trace._pc, trace._target, trace._taken, trace._kind, trace._gap = columns
+    trace._conditional_count = sum(
+        1 for code in trace._kind if code == CONDITIONAL_CODE
+    )
+    trace._instruction_count = sum(trace._gap) + len(trace._gap)
+    return trace

@@ -25,10 +25,16 @@ of the test and benchmark suites sees the same traces.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import struct
+import tempfile
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.trace.trace import Trace
+from repro.trace.trace import Trace, load_trace_binary, save_trace_binary
 from repro.workloads.emitter import KernelEmitter
 from repro.workloads.kernels import Kernel, build_kernel
 
@@ -42,6 +48,7 @@ __all__ = [
     "get_benchmark",
     "generate_benchmark",
     "generate_suite",
+    "trace_cache_dir",
 ]
 
 
@@ -387,24 +394,154 @@ def get_benchmark(suite: str, benchmark: str) -> BenchmarkSpec:
 # different kernels never alias.
 _PHASE_PC_STRIDE = 0x40000
 
+# ---------------------------------------------------------------------------
+# On-disk generation cache.
+#
+# Synthetic traces are deterministic in their generator parameters, so the
+# first process to generate a benchmark can serialise it (binary trace
+# format) for every later process -- repeated benchmark invocations and the
+# parallel suite-runner workers then deserialise instead of re-emitting
+# kernels.  The cache key covers every input of generate_benchmark plus a
+# fingerprint of the generator source files, so editing kernels, the
+# emitter or this module automatically invalidates old entries.
+# ---------------------------------------------------------------------------
+
+#: Bump when the cache key schema itself changes.
+_GENERATOR_VERSION = 1
+
+#: Environment variable controlling the cache: unset = default directory,
+#: ``0``/``off`` = disabled, any other value = cache directory to use.
+_TRACE_CACHE_ENV = "REPRO_TRACE_CACHE"
+
+_generator_fingerprint_cache: Optional[str] = None
+
+
+def _generator_fingerprint() -> str:
+    """Hash of the generator source files, folded into every cache key.
+
+    Any edit to kernel emission, the emitter or this module changes the
+    fingerprint, so stale traces can never be served after a behavioural
+    change -- no manual version bump required.
+    """
+    global _generator_fingerprint_cache
+    if _generator_fingerprint_cache is None:
+        digest = hashlib.sha256()
+        here = Path(__file__).parent
+        for source in (here / "kernels.py", here / "emitter.py", Path(__file__)):
+            try:
+                digest.update(source.read_bytes())
+            except OSError:
+                digest.update(source.name.encode("utf-8"))
+        _generator_fingerprint_cache = digest.hexdigest()
+    return _generator_fingerprint_cache
+
+
+def trace_cache_dir() -> Optional[Path]:
+    """Directory of the trace generation cache, or ``None`` when disabled."""
+    value = os.environ.get(_TRACE_CACHE_ENV)
+    if value is not None:
+        if value.strip().lower() in ("", "0", "off"):
+            return None
+        return Path(value)
+    path = Path(tempfile.gettempdir()) / f"repro-trace-cache-{os.getuid()}"
+    # /tmp is world-writable: refuse a default cache directory that another
+    # user pre-created (cache poisoning); an explicitly configured directory
+    # is trusted as-is.
+    try:
+        owner = path.stat().st_uid
+    except OSError:
+        return path
+    if owner != os.getuid():
+        return None
+    return path
+
+
+def _cache_key(
+    spec: BenchmarkSpec, target_conditional_branches: int, instruction_gap: int
+) -> str:
+    payload = json.dumps(
+        {
+            "generator_version": _GENERATOR_VERSION,
+            "generator_fingerprint": _generator_fingerprint(),
+            "name": spec.name,
+            "seed": spec.seed,
+            "phases": [
+                {
+                    "kernel": phase.kernel,
+                    "params": {key: phase.params[key] for key in sorted(phase.params)},
+                    "rounds": phase.rounds_per_cycle,
+                }
+                for phase in spec.phases
+            ],
+            "target": target_conditional_branches,
+            "gap": instruction_gap,
+        },
+        sort_keys=True,
+        default=repr,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _cache_load(path: Path) -> Optional[Trace]:
+    try:
+        return load_trace_binary(path)
+    except (OSError, ValueError, KeyError, EOFError, struct.error):
+        return None
+
+
+def _cache_store(trace: Trace, path: Path) -> None:
+    try:
+        path.parent.mkdir(mode=0o700, parents=True, exist_ok=True)
+        # Write-then-rename so concurrent generators never observe a
+        # partially written cache entry.
+        scratch = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        save_trace_binary(trace, scratch)
+        os.replace(scratch, path)
+    except OSError:
+        pass
+
 
 def generate_benchmark(
     spec: BenchmarkSpec,
     target_conditional_branches: int = 20_000,
     instruction_gap: int = 9,
 ) -> Trace:
-    """Generate the trace for ``spec``.
+    """Generate the trace for ``spec`` (or load it from the on-disk cache).
 
     Kernel phases are interleaved in a weighted round-robin (each cycle
     emits ``rounds_per_cycle`` rounds of every phase) until the trace holds
     at least ``target_conditional_branches`` conditional branches.  The
-    composition is deterministic given the benchmark seed.
+    composition is deterministic given the benchmark seed, which is what
+    makes the on-disk cache sound: generation parameters fully determine
+    the trace.
     """
     if target_conditional_branches <= 0:
         raise ValueError(
             "target conditional branch count must be positive, "
             f"got {target_conditional_branches}"
         )
+    cache_dir = trace_cache_dir()
+    cache_path: Optional[Path] = None
+    if cache_dir is not None:
+        key = _cache_key(spec, target_conditional_branches, instruction_gap)
+        cache_path = cache_dir / f"{spec.name}-{key[:16]}.rpt"
+        if cache_path.is_file():
+            cached = _cache_load(cache_path)
+            if cached is not None:
+                return cached
+    trace = _generate_benchmark_uncached(
+        spec, target_conditional_branches, instruction_gap
+    )
+    if cache_path is not None:
+        _cache_store(trace, cache_path)
+    return trace
+
+
+def _generate_benchmark_uncached(
+    spec: BenchmarkSpec,
+    target_conditional_branches: int,
+    instruction_gap: int,
+) -> Trace:
     kernels: List[Tuple[Kernel, KernelEmitter, int]] = []
     for phase_index, phase in enumerate(spec.phases):
         kernel = build_kernel(
@@ -427,14 +564,13 @@ def generate_benchmark(
             "target_conditional_branches": str(target_conditional_branches),
         },
     )
-    conditional_emitted = 0
-    while conditional_emitted < target_conditional_branches:
+    # The trace maintains its conditional count incrementally, so the
+    # stop condition is O(1) per cycle instead of a per-record rescan.
+    while trace.conditional_count < target_conditional_branches:
         for kernel, emitter, rounds in kernels:
             for _ in range(rounds):
                 kernel.emit_round(emitter)
-            records = emitter.drain()
-            conditional_emitted += sum(1 for record in records if record.is_conditional)
-            trace.extend(records)
+            trace.extend(emitter.drain())
     return trace
 
 

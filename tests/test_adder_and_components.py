@@ -185,6 +185,34 @@ class TestAdderTree:
         # must not decrease the counter.
         assert selections[0][0][0].values[selections[0][0][1]] >= value_before
 
+    def test_rejects_old_style_on_outcome_override(self):
+        class LegacyComponent(BiasComponent):
+            def on_outcome(self, record, state):  # pragma: no cover - hook
+                pass
+
+        adder, state = self._make(extra=[LegacyComponent(entries=64)])
+        record = conditional_branch(0x77, 0x90, taken=True)
+        total, selections = adder.compute(0x77, state)
+        with pytest.raises(TypeError, match="on_outcome_fields"):
+            adder.train(record, total, selections, state)
+
+    def test_components_appended_after_first_train_get_outcome_hook(self):
+        adder, state = self._make()
+        record = conditional_branch(0x77, 0x90, taken=True)
+        total, selections = adder.compute(0x77, state)
+        adder.train(record, total, selections, state)
+
+        calls = []
+
+        class Observer(BiasComponent):
+            def on_outcome_fields(self, pc, target, taken, state):
+                calls.append(pc)
+
+        adder.components.append(Observer(entries=64))
+        total, selections = adder.compute(0x77, state)
+        adder.train(record, total, selections, state)
+        assert calls == [0x77]
+
     def test_threshold_adapts_upward_under_mispredictions(self):
         adder, state = self._make()
         initial_threshold = adder.threshold

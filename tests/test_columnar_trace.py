@@ -1,0 +1,199 @@
+"""Tests for the columnar trace storage, binary format and generation cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.branch import (
+    CONDITIONAL_CODE,
+    KIND_FROM_CODE,
+    KIND_TO_CODE,
+    BranchKind,
+    BranchRecord,
+    conditional_branch,
+)
+from repro.trace.trace import (
+    Trace,
+    load_trace,
+    load_trace_binary,
+    save_trace,
+    save_trace_binary,
+)
+from repro.workloads.suites import generate_benchmark, get_benchmark
+
+
+def _mixed_trace() -> Trace:
+    trace = Trace(name="mixed", metadata={"seed": "7", "kernel": "demo"})
+    trace.append(conditional_branch(0x100, 0x140, True, instruction_gap=3))
+    trace.append(BranchRecord(pc=0x180, target=0x200, taken=True, kind=BranchKind.CALL))
+    trace.append(conditional_branch(0x200, 0x180, False, instruction_gap=5))
+    trace.append(BranchRecord(pc=0x240, target=0x100, taken=True, kind=BranchKind.RETURN))
+    trace.append(BranchRecord(pc=0x280, target=0x300, taken=True, kind=BranchKind.INDIRECT))
+    trace.append(
+        BranchRecord(pc=0x2C0, target=0x300, taken=True, kind=BranchKind.UNCONDITIONAL)
+    )
+    return trace
+
+
+class TestKindCodes:
+    def test_codes_are_stable_and_bijective(self):
+        assert KIND_TO_CODE[BranchKind.CONDITIONAL] == CONDITIONAL_CODE == 0
+        assert len(KIND_TO_CODE) == len(BranchKind)
+        for kind, code in KIND_TO_CODE.items():
+            assert KIND_FROM_CODE[code] is kind
+
+
+class TestColumnarStorage:
+    def test_columns_match_records(self):
+        trace = _mixed_trace()
+        pcs, targets, takens, kinds, gaps = trace.columns()
+        assert len(pcs) == len(trace)
+        for index, record in enumerate(trace):
+            assert pcs[index] == record.pc
+            assert targets[index] == record.target
+            assert bool(takens[index]) == record.taken
+            assert KIND_FROM_CODE[kinds[index]] is record.kind
+            assert gaps[index] == record.instruction_gap
+
+    def test_cached_counts_track_append_and_extend(self):
+        trace = Trace(name="t")
+        assert trace.conditional_count == 0
+        assert trace.instruction_count == 0
+        trace.append(conditional_branch(1, 2, True, instruction_gap=4))
+        assert trace.conditional_count == 1
+        assert trace.instruction_count == 5
+        trace.extend(
+            [
+                conditional_branch(3, 4, False, instruction_gap=2),
+                BranchRecord(pc=5, target=6, taken=True, kind=BranchKind.CALL,
+                             instruction_gap=1),
+            ]
+        )
+        assert trace.conditional_count == 2
+        assert trace.instruction_count == 5 + 3 + 2
+
+    def test_extend_with_trace_bulk_appends(self):
+        first = _mixed_trace()
+        second = Trace(name="combined")
+        second.extend(first)
+        second.extend(first)
+        assert len(second) == 2 * len(first)
+        assert second.conditional_count == 2 * first.conditional_count
+        assert second.instruction_count == 2 * first.instruction_count
+        assert list(second)[: len(first)] == list(first)
+
+    def test_records_view_indexing_slicing_equality(self):
+        trace = _mixed_trace()
+        view = trace.records
+        assert len(view) == len(trace)
+        assert view[0] == trace[0]
+        assert view[1:3] == [trace[1], trace[2]]
+        assert view == list(trace)
+        assert trace.records == _mixed_trace().records
+
+    def test_slice_recomputes_counts(self):
+        trace = _mixed_trace()
+        part = trace.slice(1, 4)
+        assert len(part) == 3
+        assert part.conditional_count == sum(
+            1 for record in part if record.is_conditional
+        )
+        assert part.instruction_count == sum(
+            record.instruction_gap + 1 for record in part
+        )
+
+    def test_static_branches_only_counts_conditionals(self):
+        trace = _mixed_trace()
+        static = trace.static_branches()
+        assert static == {0x100: 1, 0x200: 1}
+
+
+class TestBinaryFormat:
+    def test_binary_roundtrip(self, tmp_path):
+        trace = _mixed_trace()
+        path = tmp_path / "mixed.rpt"
+        save_trace_binary(trace, path)
+        loaded = load_trace_binary(path)
+        assert loaded.name == trace.name
+        assert loaded.metadata == trace.metadata
+        assert loaded.conditional_count == trace.conditional_count
+        assert loaded.instruction_count == trace.instruction_count
+        assert list(loaded) == list(trace)
+
+    def test_binary_text_cross_roundtrip(self, tmp_path):
+        trace = _mixed_trace()
+        text_path = tmp_path / "trace.txt"
+        binary_path = tmp_path / "trace.rpt"
+        save_trace(trace, text_path)
+        save_trace_binary(trace, binary_path)
+        assert list(load_trace(text_path)) == list(load_trace_binary(binary_path))
+
+    def test_load_trace_autodetects_binary(self, tmp_path):
+        trace = _mixed_trace()
+        path = tmp_path / "either.rpt"
+        save_trace_binary(trace, path)
+        loaded = load_trace(path)
+        assert list(loaded) == list(trace)
+        assert loaded.metadata == trace.metadata
+
+    def test_binary_rejects_bad_magic(self, tmp_path):
+        path = tmp_path / "bogus.rpt"
+        path.write_bytes(b"NOTATRACE")
+        with pytest.raises(ValueError):
+            load_trace_binary(path)
+
+    def test_empty_trace_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.rpt"
+        save_trace_binary(Trace(name="empty"), path)
+        loaded = load_trace_binary(path)
+        assert len(loaded) == 0
+        assert loaded.conditional_count == 0
+
+    def test_generated_benchmark_roundtrip(self, tmp_path):
+        trace = generate_benchmark(
+            get_benchmark("cbp4like", "MM-4"), target_conditional_branches=200
+        )
+        path = tmp_path / "mm4.rpt"
+        save_trace_binary(trace, path)
+        loaded = load_trace_binary(path)
+        assert loaded.conditional_count == trace.conditional_count
+        assert loaded.columns() == trace.columns()
+
+
+class TestGenerationCache:
+    def test_cache_round_trips_identical_traces(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "cache"))
+        spec = get_benchmark("cbp4like", "MM-4")
+        first = generate_benchmark(spec, target_conditional_branches=150)
+        cache_files = list((tmp_path / "cache").glob("*.rpt"))
+        assert len(cache_files) == 1
+        second = generate_benchmark(spec, target_conditional_branches=150)
+        assert list(first) == list(second)
+        assert first.metadata == second.metadata
+        assert first.name == second.name
+
+    def test_cache_key_depends_on_parameters(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "cache"))
+        spec = get_benchmark("cbp4like", "MM-4")
+        generate_benchmark(spec, target_conditional_branches=150)
+        generate_benchmark(spec, target_conditional_branches=151)
+        generate_benchmark(spec, target_conditional_branches=150, instruction_gap=5)
+        assert len(list((tmp_path / "cache").glob("*.rpt"))) == 3
+
+    def test_cache_disabled_by_env(self, tmp_path, monkeypatch):
+        from repro.workloads import suites
+
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
+        assert suites.trace_cache_dir() is None
+        spec = get_benchmark("cbp4like", "MM-4")
+        trace = generate_benchmark(spec, target_conditional_branches=120)
+        assert trace.conditional_count >= 120
+
+    def test_corrupt_cache_entry_is_regenerated(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "cache"))
+        spec = get_benchmark("cbp4like", "MM-4")
+        first = generate_benchmark(spec, target_conditional_branches=150)
+        (entry,) = (tmp_path / "cache").glob("*.rpt")
+        entry.write_bytes(b"RPTRACE1garbage")
+        second = generate_benchmark(spec, target_conditional_branches=150)
+        assert list(first) == list(second)

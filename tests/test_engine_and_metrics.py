@@ -157,3 +157,83 @@ class TestSuiteRunner:
 
     def test_trace_names(self):
         assert self._runner().trace_names() == ["t1", "t2"]
+
+    def test_memoisation_keyed_on_track_per_pc(self):
+        runner = self._runner()
+        plain = runner.run("always", factory=AlwaysTakenPredictor)
+        tracked = runner.run(
+            "always", factory=AlwaysTakenPredictor, track_per_pc=True
+        )
+        # A run cached without per-PC data must not satisfy a tracked request.
+        assert plain is not tracked
+        assert not any(result.per_pc_mispredictions for result in plain.results)
+        assert all(result.per_pc_mispredictions for result in tracked.results)
+        # Both variants are memoised independently.
+        assert runner.run("always", factory=AlwaysTakenPredictor) is plain
+        assert (
+            runner.run("always", factory=AlwaysTakenPredictor, track_per_pc=True)
+            is tracked
+        )
+
+    def test_invalidate_drops_both_tracking_variants(self):
+        runner = self._runner()
+        plain = runner.run("always", factory=AlwaysTakenPredictor)
+        tracked = runner.run("always", factory=AlwaysTakenPredictor, track_per_pc=True)
+        runner.invalidate("always")
+        assert runner.run("always", factory=AlwaysTakenPredictor) is not plain
+        assert (
+            runner.run("always", factory=AlwaysTakenPredictor, track_per_pc=True)
+            is not tracked
+        )
+
+    def test_rejects_non_positive_workers(self):
+        with pytest.raises(ValueError):
+            SuiteRunner([_tiny_trace()], max_workers=0)
+
+
+class TestParallelSuiteRunner:
+    def _traces(self):
+        from repro.workloads.suites import generate_suite
+
+        return generate_suite(
+            "cbp4like",
+            target_conditional_branches=200,
+            benchmarks=["SPEC2K6-04", "SPEC2K6-12", "MM-4"],
+        )
+
+    def test_parallel_results_match_serial(self):
+        traces = self._traces()
+        serial = SuiteRunner(traces, profile="small")
+        parallel = SuiteRunner(traces, profile="small", max_workers=2)
+        configurations = ["tage-gsc", "tage-gsc+sic"]
+
+        def _factoryless(runner):
+            return runner.run_many(configurations)
+
+        serial_runs = _factoryless(serial)
+        parallel_runs = _factoryless(parallel)
+        for configuration in configurations:
+            serial_results = serial_runs[configuration].results
+            parallel_results = parallel_runs[configuration].results
+            assert [r.trace_name for r in serial_results] == [
+                r.trace_name for r in parallel_results
+            ]
+            assert [r.mispredictions for r in serial_results] == [
+                r.mispredictions for r in parallel_results
+            ]
+            assert [r.instructions for r in serial_results] == [
+                r.instructions for r in parallel_results
+            ]
+
+    def test_parallel_run_is_memoised(self):
+        parallel = SuiteRunner(self._traces(), profile="small", max_workers=2)
+        first = parallel.run("tage-gsc")
+        second = parallel.run("tage-gsc")
+        assert first is second
+
+    def test_custom_factories_fall_back_in_process(self):
+        parallel = SuiteRunner(self._traces(), profile="small", max_workers=2)
+        runs = parallel.run_many(
+            ["always"], factories={"always": AlwaysTakenPredictor}
+        )
+        assert len(runs["always"].results) == 3
