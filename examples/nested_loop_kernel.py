@@ -17,10 +17,9 @@ Run with::
 
 from __future__ import annotations
 
+from repro import Experiment, PredictorSpec
 from repro.analysis.tables import format_table
 from repro.core import IMLIState
-from repro.predictors import build_named
-from repro.sim import simulate
 from repro.trace import Trace
 from repro.trace.stats import compute_statistics
 from repro.workloads import KernelEmitter, SameIterationKernel, WormholeDiagonalKernel
@@ -51,13 +50,16 @@ def show_imli_counter(trace: Trace) -> None:
 
 
 def evaluate(trace: Trace, configurations) -> None:
+    """Run the configurations over one hand-built trace (no suite needed)."""
     stats = compute_statistics(trace)
     print(f"trace {trace.name}: {stats.conditional_branches} conditional branches, "
           f"mean inner-loop trip count {stats.mean_inner_loop_trip_count:.1f}")
+    specs = [PredictorSpec.from_named(c, profile="small") for c in configurations]
+    results = Experiment(specs, traces=[trace], profile="small").run()
     rows = []
-    for configuration in configurations:
-        result = simulate(build_named(configuration, profile="small"), trace)
-        rows.append((configuration, result.mpki, f"{100 * result.accuracy:.1f} %"))
+    for spec in specs:
+        result = results.run_for(spec.label).result_for(trace.name)
+        rows.append((spec.label, result.mpki, f"{100 * result.accuracy:.1f} %"))
     print(format_table(["configuration", "MPKI", "accuracy"], rows))
     print()
 

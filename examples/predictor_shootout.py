@@ -4,6 +4,11 @@ Runs the whole predictor hierarchy implemented by the library over a few
 synthetic benchmarks and prints one MPKI column per predictor, together with
 its storage budget -- a condensed view of thirty years of branch prediction.
 
+The historical baselines are not part of the composite registry, so this
+example also shows the extension hook: they are registered as **builders**
+on a scoped :class:`repro.Registry` and then referenced by name, exactly
+like the paper's configurations.
+
 Run with::
 
     python examples/predictor_shootout.py
@@ -11,52 +16,75 @@ Run with::
 
 from __future__ import annotations
 
+from repro import Experiment, PredictorSpec, Registry
 from repro.analysis.tables import format_table
 from repro.predictors import (
     BimodalPredictor,
     GSharePredictor,
     PerceptronPredictor,
     TAGEPredictor,
-    build_named,
 )
 from repro.predictors.tage import TAGEConfig
-from repro.sim import SuiteRunner
-from repro.workloads import generate_suite
 
 BENCHMARKS = ["SPEC2K6-00", "SPEC2K6-04", "SPEC2K6-12", "SERVER-01", "MM-4"]
 
-PREDICTORS = [
-    ("bimodal", lambda: BimodalPredictor(entries=4096)),
-    ("gshare", lambda: GSharePredictor(entries=4096, history_length=12)),
-    ("perceptron", lambda: PerceptronPredictor(entries=256, history_length=24)),
-    ("tage", lambda: TAGEPredictor(TAGEConfig(num_tables=6, table_entries=256,
-                                              base_entries=1024, max_history=80))),
-    ("gehl", lambda: build_named("gehl", profile="small")),
-    ("tage-gsc", lambda: build_named("tage-gsc", profile="small")),
-    ("tage-gsc+imli", lambda: build_named("tage-gsc+imli", profile="small")),
-    ("tage-gsc+imli+l", lambda: build_named("tage-gsc+imli+l", profile="small")),
+registry = Registry.with_defaults()
+
+
+@registry.register_configuration("bimodal")
+def _bimodal(profile, entries=4096):
+    return BimodalPredictor(entries=entries)
+
+
+@registry.register_configuration("gshare")
+def _gshare(profile, entries=4096, history_length=12):
+    return GSharePredictor(entries=entries, history_length=history_length)
+
+
+@registry.register_configuration("perceptron")
+def _perceptron(profile, entries=256, history_length=24):
+    return PerceptronPredictor(entries=entries, history_length=history_length)
+
+
+@registry.register_configuration("tage")
+def _tage(profile):
+    return TAGEPredictor(TAGEConfig(num_tables=6, table_entries=256,
+                                    base_entries=1024, max_history=80))
+
+
+#: One spec per shoot-out column, oldest predictor first.  The registered
+#: builders and the paper's composite configurations are referenced the
+#: same way.
+SPECS = [
+    PredictorSpec.from_named(name, profile="small")
+    for name in (
+        "bimodal", "gshare", "perceptron", "tage",
+        "gehl", "tage-gsc", "tage-gsc+imli", "tage-gsc+imli+l",
+    )
 ]
 
 
 def main() -> None:
-    print(f"Generating {len(BENCHMARKS)} benchmarks ...")
-    traces = generate_suite("cbp4like", target_conditional_branches=3000, benchmarks=BENCHMARKS)
-    runner = SuiteRunner(traces, profile="small")
+    print(f"Simulating {len(SPECS)} predictors over {len(BENCHMARKS)} benchmarks ...")
+    experiment = Experiment(
+        SPECS,
+        suite="cbp4like",
+        benchmarks=BENCHMARKS,
+        length=3000,
+        profile="small",
+        registry=registry,
+    )
+    results = experiment.run()
 
-    columns = []
-    for name, factory in PREDICTORS:
-        print(f"Simulating {name} ...")
-        columns.append((name, runner.run(name, factory=factory)))
-
-    rows = []
-    for benchmark in runner.trace_names():
-        rows.append([benchmark] + [run.result_for(benchmark).mpki for _, run in columns])
-    rows.append(["AVERAGE"] + [run.average_mpki for _, run in columns])
-    rows.append(["storage (Kbits)"] + [round(run.storage_bits / 1024, 1) for _, run in columns])
-
+    labels = results.labels()
+    rows = results.mpki_table()
+    rows.append(
+        ["storage (Kbits)"]
+        + [round(results.storage_bits(label) / 1024, 1) for label in labels]
+    )
     print()
     print(format_table(
-        ["benchmark"] + [name for name, _ in columns],
+        ["benchmark"] + labels,
         rows,
         title="Predictor shoot-out (MPKI per benchmark)",
     ))

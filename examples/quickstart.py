@@ -1,10 +1,11 @@
 """Quick start: measure the benefit of the IMLI components on one suite.
 
-This is the smallest end-to-end use of the library:
+This is the smallest end-to-end use of the declarative API:
 
-1. generate a synthetic CBP4-like benchmark suite (a subset, to stay fast);
-2. run the TAGE-GSC base predictor and its IMLI-augmented version;
-3. print per-benchmark MPKI and the average reduction.
+1. describe the two predictors as :class:`repro.PredictorSpec` objects;
+2. run them over a synthetic CBP4-like subset with one
+   :class:`repro.Experiment` (the base predictor is the baseline);
+3. print per-benchmark MPKI, the deltas, and the average reduction.
 
 Run with::
 
@@ -13,39 +14,33 @@ Run with::
 
 from __future__ import annotations
 
-from repro.analysis.tables import format_table
-from repro.sim import SuiteRunner, mpki_reduction_percent
-from repro.workloads import generate_suite
+from repro import Experiment, PredictorSpec
+from repro.sim import mpki_reduction_percent
 
 
 def main() -> None:
     benchmarks = ["SPEC2K6-00", "SPEC2K6-04", "SPEC2K6-12", "MM-4", "SERVER-01"]
-    print(f"Generating {len(benchmarks)} synthetic benchmarks ...")
-    traces = generate_suite(
-        "cbp4like", target_conditional_branches=3000, benchmarks=benchmarks
+    specs = [
+        PredictorSpec.from_named("tage-gsc", profile="small"),
+        PredictorSpec.from_named("tage-gsc+imli", profile="small"),
+    ]
+    print(f"Simulating {[spec.label for spec in specs]} "
+          f"on {len(benchmarks)} synthetic benchmarks ...")
+    experiment = Experiment(
+        specs,
+        suite="cbp4like",
+        benchmarks=benchmarks,
+        length=3000,
+        profile="small",
     )
-
-    runner = SuiteRunner(traces, profile="small")
-    print("Simulating tage-gsc and tage-gsc+imli ...")
-    base = runner.run("tage-gsc")
-    imli = runner.run("tage-gsc+imli")
-
-    rows = []
-    for name in runner.trace_names():
-        base_mpki = base.result_for(name).mpki
-        imli_mpki = imli.result_for(name).mpki
-        rows.append((name, base_mpki, imli_mpki, base_mpki - imli_mpki))
-    rows.append(("AVERAGE", base.average_mpki, imli.average_mpki,
-                 base.average_mpki - imli.average_mpki))
+    results = experiment.run(baseline="tage-gsc")
 
     print()
-    print(format_table(
-        ["benchmark", "tage-gsc MPKI", "tage-gsc+imli MPKI", "reduction"],
-        rows,
-        title="IMLI components on TAGE-GSC (quick start)",
-    ))
+    print(results.report(title="IMLI components on TAGE-GSC (quick start)"))
     print()
-    reduction = mpki_reduction_percent(base.average_mpki, imli.average_mpki)
+    reduction = mpki_reduction_percent(
+        results.average_mpki("tage-gsc"), results.average_mpki("tage-gsc+imli")
+    )
     print(f"Average MPKI reduction from the IMLI components: {reduction:.1f} %")
     print("(the paper reports 6.8 % on the CBP4 traces; the synthetic suite is")
     print(" harder on average but shows the same concentration of the benefit")

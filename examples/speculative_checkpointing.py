@@ -20,8 +20,8 @@ Run with::
 
 from __future__ import annotations
 
+from repro import PredictorSpec
 from repro.analysis.tables import format_key_values, format_table
-from repro.predictors import build_named
 from repro.sim.checkpointing import run_checkpoint_recovery, speculative_management_cost
 from repro.workloads import generate_benchmark
 from repro.workloads.suites import get_benchmark
@@ -31,7 +31,7 @@ def main() -> None:
     trace = generate_benchmark(
         get_benchmark("cbp4like", "SPEC2K6-04"), target_conditional_branches=4000
     )
-    predictor = build_named("tage-gsc+imli", profile="small")
+    predictor = PredictorSpec.from_named("tage-gsc+imli", profile="small").build()
 
     print("Running the speculative fetch model with checkpoint-based recovery ...")
     report = run_checkpoint_recovery(predictor, trace)

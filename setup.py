@@ -1,2 +1,4 @@
+"""Legacy entry point; all metadata lives in pyproject.toml."""
 from setuptools import setup
+
 setup()

@@ -16,7 +16,17 @@ The library provides, in pure Python:
 * the reproduced tables and figures of the evaluation section
   (:mod:`repro.analysis`).
 
-Quick start::
+Quick start (declarative API, see ``docs/API.md``)::
+
+    from repro import Experiment
+
+    results = Experiment(
+        ["tage-gsc", "tage-gsc+imli"], suite="cbp4like",
+        length=5000, profile="small",
+    ).run(baseline="tage-gsc")
+    print(results.report())
+
+or with the lower-level runner::
 
     from repro.workloads import generate_suite
     from repro.sim import SuiteRunner
@@ -28,6 +38,17 @@ Quick start::
     print(base.average_mpki, imli.average_mpki)
 """
 
+from repro.api import (
+    CompositeOptions,
+    Experiment,
+    PredictorSpec,
+    Registry,
+    ResultSet,
+    SizeProfile,
+    default_registry,
+    register_configuration,
+    register_profile,
+)
 from repro.core import (
     IMLIOuterHistoryComponent,
     IMLISameIterationComponent,
@@ -46,17 +67,23 @@ from repro.sim import SimulationResult, SuiteRunner, simulate
 from repro.trace import BranchKind, BranchRecord, Trace
 from repro.workloads import generate_benchmark, generate_suite
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BranchKind",
     "BranchPredictor",
     "BranchRecord",
+    "CompositeOptions",
+    "Experiment",
     "GEHLPredictor",
     "IMLIOuterHistoryComponent",
     "IMLISameIterationComponent",
     "IMLIState",
+    "PredictorSpec",
+    "Registry",
+    "ResultSet",
     "SimulationResult",
+    "SizeProfile",
     "SpeculativeIMLITracker",
     "SuiteRunner",
     "TAGEGSCPredictor",
@@ -65,7 +92,10 @@ __all__ = [
     "__version__",
     "build_named",
     "configuration_names",
+    "default_registry",
     "generate_benchmark",
     "generate_suite",
+    "register_configuration",
+    "register_profile",
     "simulate",
 ]

@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Mapping, Sequence
 
 from repro.analysis.figures import format_bar_chart, format_grouped_bar_chart
 from repro.analysis.tables import format_key_values, format_mpki_table, format_table
+from repro.api.specs import PredictorSpec
 from repro.sim.delayed_update import run_delayed_update_experiment
 from repro.sim.metrics import (
     most_affected,
@@ -91,13 +92,26 @@ def _ordered_suites(runners: Runners) -> List[str]:
     ]
 
 
+def _run(runner: SuiteRunner, configuration: str):
+    """Run one named configuration through the declarative spec layer.
+
+    Every experiment's simulations flow through
+    :meth:`~repro.sim.runner.SuiteRunner.run_spec`; the spec label equals
+    the configuration name, so the memoisation cache is shared with any
+    name-based callers of the same runner.
+    """
+    return runner.run_spec(
+        PredictorSpec.from_named(configuration, profile=runner.profile)
+    )
+
+
 def _suite_averages(runners: Runners, configurations: Sequence[str]) -> Dict[str, Dict[str, float]]:
     """``{suite: {configuration: average MPKI}}`` for the given configurations."""
     averages: Dict[str, Dict[str, float]] = {}
     for suite in _ordered_suites(runners):
         runner = runners[suite]
         averages[suite] = {
-            configuration: runner.run(configuration).average_mpki
+            configuration: _run(runner, configuration).average_mpki
             for configuration in configurations
         }
     return averages
@@ -110,8 +124,8 @@ def _per_benchmark_delta(
     deltas: Dict[str, float] = {}
     for suite in _ordered_suites(runners):
         runner = runners[suite]
-        base = runner.run(baseline).mpki_by_trace()
-        cand = runner.run(candidate).mpki_by_trace()
+        base = _run(runner, baseline).mpki_by_trace()
+        cand = _run(runner, candidate).mpki_by_trace()
         deltas.update(mpki_delta(base, cand))
     return deltas
 
@@ -480,10 +494,10 @@ def _local_history_figure(
     series: Dict[str, Dict[str, float]] = {}
     for suite in _ordered_suites(runners):
         runner = runners[suite]
-        base_run = runner.run(base).mpki_by_trace()
+        base_run = _run(runner, base).mpki_by_trace()
         base_mpki.update(base_run)
         for configuration in configurations[1:]:
-            candidate = runner.run(configuration).mpki_by_trace()
+            candidate = _run(runner, configuration).mpki_by_trace()
             for name, delta in mpki_delta(base_run, candidate).items():
                 series.setdefault(name, {})[configuration] = delta
     affected = most_affected(

@@ -3,11 +3,17 @@
 The CLI exposes the library's main workflows without writing any Python:
 
 ``python -m repro list``
-    Show the available suites, benchmarks, predictor configurations and
-    registered experiments.
+    Show the available suites, benchmarks, predictor configurations, size
+    profiles and registered experiments (all read dynamically from the
+    registries, so user registrations appear too).
 ``python -m repro simulate``
-    Run predictor configurations over (a subset of) a synthetic suite and
-    print the per-benchmark MPKI table.
+    Run predictor configurations -- by name and/or from spec JSON files
+    (``--spec``) -- over (a subset of) a synthetic suite and print the
+    per-benchmark MPKI table.
+``python -m repro sweep``
+    Expand a parameter grid over a base configuration into a list of
+    specs, run them (serially or with ``--jobs``), and print / export the
+    resulting MPKI table with deltas against the base.
 ``python -m repro experiment <id>``
     Regenerate one of the paper's tables/figures (same registry as the
     benchmark harness).
@@ -19,12 +25,15 @@ The CLI exposes the library's main workflows without writing any Python:
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.experiments import experiment_ids, run_experiment
-from repro.analysis.tables import format_table
-from repro.predictors.composites import configuration_names
+from repro.api.experiment import Experiment
+from repro.api.registry import default_registry
+from repro.api.specs import PredictorSpec
 from repro.sim.runner import SuiteRunner
 from repro.trace.trace import save_trace, save_trace_binary
 from repro.workloads.suites import (
@@ -45,6 +54,23 @@ def _positive_int(value: str) -> int:
     return parsed
 
 
+def _add_workload_arguments(parser: argparse.ArgumentParser, length: int) -> None:
+    parser.add_argument("--suite", default="cbp4like", choices=suite_names())
+    parser.add_argument(
+        "--benchmarks", default=None,
+        help="comma-separated benchmark names (default: the whole suite)",
+    )
+    parser.add_argument("--length", type=int, default=length,
+                        help="conditional branches per benchmark trace")
+    parser.add_argument(
+        "--profile", default="small", choices=default_registry().profile_names(),
+    )
+    parser.add_argument(
+        "--jobs", "-j", type=_positive_int, default=1,
+        help="worker processes for the simulations (default: 1, in-process)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -53,34 +79,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("list", help="list suites, benchmarks, configurations, experiments")
+    subparsers.add_parser(
+        "list", help="list suites, benchmarks, configurations, profiles, experiments"
+    )
 
     simulate = subparsers.add_parser(
         "simulate", help="run predictor configurations over a synthetic suite"
     )
-    simulate.add_argument("--suite", default="cbp4like", choices=suite_names())
     simulate.add_argument(
-        "--benchmarks", default=None,
-        help="comma-separated benchmark names (default: the whole suite)",
+        "--configurations", default=None,
+        help="comma-separated configuration names "
+             "(default: tage-gsc,tage-gsc+imli when no --spec is given)",
     )
     simulate.add_argument(
-        "--configurations", default="tage-gsc,tage-gsc+imli",
-        help="comma-separated configuration names",
+        "--spec", action="append", default=None, metavar="FILE",
+        help="JSON file holding one predictor spec or a list of specs "
+             "(repeatable; see docs/API.md for the schema)",
     )
-    simulate.add_argument("--length", type=int, default=2500,
-                          help="conditional branches per benchmark trace")
-    simulate.add_argument("--profile", default="small", choices=("small", "default"))
-    simulate.add_argument(
-        "--jobs", "-j", type=_positive_int, default=1,
-        help="worker processes for the simulations (default: 1, in-process)",
+    _add_workload_arguments(simulate, length=2500)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="expand a parameter grid into predictor specs and run them"
     )
+    sweep.add_argument(
+        "--base", required=True,
+        help="configuration name (or spec JSON file) the grid is applied to",
+    )
+    sweep.add_argument(
+        "--param", action="append", default=[], metavar="NAME=V1,V2,...",
+        help="one grid axis: an override name and its comma-separated values "
+             "(repeatable; values are parsed as JSON, falling back to strings)",
+    )
+    sweep.add_argument(
+        "--json", dest="json_output", default=None, metavar="FILE",
+        help="write the full result set as JSON to FILE ('-' for stdout)",
+    )
+    sweep.add_argument(
+        "--csv", dest="csv_output", default=None, metavar="FILE",
+        help="write the MPKI table as CSV to FILE ('-' for stdout)",
+    )
+    _add_workload_arguments(sweep, length=2500)
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's tables or figures"
     )
     experiment.add_argument("experiment_id", choices=experiment_ids())
     experiment.add_argument("--length", type=int, default=2500)
-    experiment.add_argument("--profile", default="small", choices=("small", "default"))
+    experiment.add_argument(
+        "--profile", default="small", choices=default_registry().profile_names(),
+    )
     experiment.add_argument(
         "--benchmarks", default=None,
         help="comma-separated benchmark names to restrict both suites to",
@@ -110,13 +157,78 @@ def _split(raw: Optional[str]) -> Optional[List[str]]:
     return names or None
 
 
+def _load_spec_file(path: str) -> List[PredictorSpec]:
+    """Load one spec, a list of specs, or a ``{"specs": [...]}`` document."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if isinstance(data, dict) and "specs" in data:
+        data = data["specs"]
+    if isinstance(data, dict):
+        data = [data]
+    if not isinstance(data, list):
+        raise ValueError(f"{path}: expected a spec object or a list of specs")
+    return [PredictorSpec.from_dict(entry) for entry in data]
+
+
+def _parse_param(raw: str) -> tuple:
+    """Parse one ``--param name=v1,v2,...`` grid axis."""
+    name, _, values = raw.partition("=")
+    if not name or not values:
+        raise ValueError(f"--param needs the form NAME=V1,V2,..., got {raw!r}")
+    parsed: List[Any] = []
+    for token in values.split(","):
+        token = token.strip()
+        try:
+            parsed.append(json.loads(token))
+        except json.JSONDecodeError:
+            parsed.append(token)
+    return name.strip(), parsed
+
+
+def _canonical_spec(spec: PredictorSpec) -> tuple:
+    """Identity of the predictor a spec builds (label-independent).
+
+    Overrides are folded into the resolved options so that an override
+    equal to the field's default compares equal to no override at all.
+    """
+    resolved = spec.resolve()
+    if not isinstance(resolved.base, str):
+        options = (
+            dataclasses.replace(resolved.base, **spec.overrides)
+            if spec.overrides
+            else resolved.base
+        )
+        return (options, spec.profile)
+    return (resolved.base, tuple(sorted(spec.overrides.items())), spec.profile)
+
+
+def _error_message(error: BaseException) -> str:
+    """Human-readable message (str(KeyError) would add spurious quotes)."""
+    if isinstance(error, KeyError) and error.args:
+        return str(error.args[0])
+    return str(error)
+
+
+def _write_output(text: str, destination: str) -> None:
+    if destination == "-":
+        print(text)
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {destination}", file=sys.stderr)
+
+
 def _command_list() -> int:
+    registry = default_registry()
     print("suites:")
     for suite in suite_names():
         print(f"  {suite}: {', '.join(benchmark_names(suite))}")
     print()
     print("predictor configurations:")
-    print("  " + ", ".join(configuration_names()))
+    print("  " + ", ".join(registry.names()))
+    print()
+    print("size profiles:")
+    print("  " + ", ".join(registry.profile_names()))
     print()
     print("experiments (paper tables/figures):")
     print("  " + ", ".join(experiment_ids()))
@@ -124,29 +236,93 @@ def _command_list() -> int:
 
 
 def _command_simulate(args: argparse.Namespace) -> int:
-    configurations = _split(args.configurations) or []
-    if not configurations:
+    specs: List[PredictorSpec] = []
+    for path in args.spec or []:
+        try:
+            specs.extend(_load_spec_file(path))
+        except (OSError, ValueError, TypeError) as error:
+            print(f"cannot load specs from {path}: {error}", file=sys.stderr)
+            return 2
+    configurations = _split(args.configurations)
+    if configurations is None and args.configurations is None and not specs:
+        configurations = ["tage-gsc", "tage-gsc+imli"]
+    specs = [
+        PredictorSpec.from_named(name, profile=args.profile)
+        for name in configurations or []
+    ] + specs
+    if not specs:
         print("no configurations selected", file=sys.stderr)
         return 2
-    traces = generate_suite(
-        args.suite,
-        target_conditional_branches=args.length,
-        benchmarks=_split(args.benchmarks),
-    )
-    if not traces:
-        print("no benchmarks selected", file=sys.stderr)
+    try:
+        experiment = Experiment(
+            specs,
+            suite=args.suite,
+            benchmarks=_split(args.benchmarks),
+            length=args.length,
+            profile=args.profile,
+            jobs=args.jobs,
+        )
+        results = experiment.run()
+    except (KeyError, TypeError, ValueError) as error:
+        print(_error_message(error), file=sys.stderr)
         return 2
-    runner = SuiteRunner(traces, profile=args.profile, max_workers=args.jobs)
-    runs = runner.run_many(configurations)
-    rows = []
-    for name in runner.trace_names():
-        rows.append([name] + [runs[c].result_for(name).mpki for c in configurations])
-    rows.append(["AVERAGE"] + [runs[c].average_mpki for c in configurations])
-    print(format_table(
-        ["benchmark"] + list(configurations),
-        rows,
-        title=f"MPKI on {args.suite} ({args.length} conditional branches per benchmark)",
+    print(results.report(
+        title=f"MPKI on {args.suite} ({args.length} conditional branches per benchmark)"
     ))
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    if args.base.endswith(".json"):
+        try:
+            loaded = _load_spec_file(args.base)
+        except (OSError, ValueError, TypeError) as error:
+            print(f"cannot load base spec from {args.base}: {error}", file=sys.stderr)
+            return 2
+        if len(loaded) != 1:
+            print(f"{args.base}: --base needs exactly one spec", file=sys.stderr)
+            return 2
+        base_spec = loaded[0]
+    else:
+        base_spec = PredictorSpec.from_named(args.base, profile=args.profile)
+    grid: Dict[str, List[Any]] = {}
+    try:
+        for raw in args.param:
+            name, values = _parse_param(raw)
+            grid[name] = values
+    except ValueError as error:
+        print(_error_message(error), file=sys.stderr)
+        return 2
+    try:
+        # Dedupe semantically: a grid point that rebuilds the base
+        # predictor (identical content, or an override equal to the
+        # field's default, e.g. oh_update_delay=0) must not be simulated
+        # and reported twice under a second label.
+        base_canonical = _canonical_spec(base_spec)
+        specs = [base_spec]
+        for spec in base_spec.sweep(**grid):
+            if _canonical_spec(spec) != base_canonical:
+                specs.append(spec)
+        experiment = Experiment(
+            specs,
+            suite=args.suite,
+            benchmarks=_split(args.benchmarks),
+            length=args.length,
+            profile=args.profile,
+            jobs=args.jobs,
+        )
+        results = experiment.run(baseline=base_spec)
+    except (KeyError, TypeError, ValueError) as error:
+        print(_error_message(error), file=sys.stderr)
+        return 2
+    print(results.report(
+        title=f"Sweep over {base_spec.label} on {args.suite} "
+              f"({len(specs)} specs, {args.length} branches per benchmark)"
+    ))
+    if args.json_output:
+        _write_output(results.to_json(), args.json_output)
+    if args.csv_output:
+        _write_output(results.to_csv(), args.csv_output)
     return 0
 
 
@@ -173,7 +349,7 @@ def _command_trace(args: argparse.Namespace) -> int:
     try:
         spec = get_benchmark(args.suite, args.benchmark)
     except KeyError as error:
-        print(str(error), file=sys.stderr)
+        print(_error_message(error), file=sys.stderr)
         return 2
     trace = generate_benchmark(spec, target_conditional_branches=args.length)
     if args.trace_format == "binary":
@@ -192,6 +368,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_list()
     if args.command == "simulate":
         return _command_simulate(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
     if args.command == "experiment":
         return _command_experiment(args)
     if args.command == "trace":

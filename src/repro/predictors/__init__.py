@@ -30,6 +30,7 @@ from repro.predictors.composites import (
     CONFIGURATIONS,
     CompositeOptions,
     SidecarPredictor,
+    SizeProfile,
     build,
     build_named,
     configuration_names,
@@ -70,6 +71,7 @@ __all__ = [
     "LoopPredictorConfig",
     "PerceptronPredictor",
     "SidecarPredictor",
+    "SizeProfile",
     "StaticBackwardTakenPredictor",
     "StatisticalCorrector",
     "StatisticalCorrectorConfig",

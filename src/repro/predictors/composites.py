@@ -21,7 +21,7 @@ keep runtimes low).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.common.history import LocalHistoryTable
 from repro.core.component import NeuralComponent
@@ -40,8 +40,11 @@ from repro.trace.branch import BranchKind, BranchRecord
 __all__ = [
     "CompositeOptions",
     "SidecarPredictor",
+    "SizeProfile",
     "build",
+    "build_named",
     "configuration_names",
+    "factory",
     "CONFIGURATIONS",
 ]
 
@@ -188,8 +191,14 @@ class SidecarPredictor(BranchPredictor):
 
 
 @dataclass(frozen=True)
-class _SizeProfile:
-    """Scaled table geometries for one size profile."""
+class SizeProfile:
+    """Scaled table geometries for one size profile.
+
+    Custom profiles are registered through
+    :meth:`repro.api.registry.Registry.register_profile`; the two built-in
+    profiles live in the default registry under the names ``"default"`` and
+    ``"small"``.
+    """
 
     tage: TAGEConfig
     corrector: StatisticalCorrectorConfig
@@ -203,8 +212,12 @@ class _SizeProfile:
     loop_entries: int
 
 
-_PROFILES: Dict[str, _SizeProfile] = {
-    "default": _SizeProfile(
+#: Backwards-compatible alias (the class was private before the API layer).
+_SizeProfile = SizeProfile
+
+
+_PROFILES: Dict[str, SizeProfile] = {
+    "default": SizeProfile(
         tage=TAGEConfig(),
         corrector=StatisticalCorrectorConfig(),
         gehl=GEHLConfig(),
@@ -216,7 +229,7 @@ _PROFILES: Dict[str, _SizeProfile] = {
         local_table_history_bits=16,
         loop_entries=16,
     ),
-    "small": _SizeProfile(
+    "small": SizeProfile(
         tage=TAGEConfig(
             num_tables=6,
             table_entries=256,
@@ -309,7 +322,9 @@ class CompositeOptions:
         return "+".join(parts)
 
 
-def build(options: CompositeOptions, profile: str = "default") -> BranchPredictor:
+def build(
+    options: CompositeOptions, profile: Union[str, SizeProfile] = "default"
+) -> BranchPredictor:
     """Build the composite predictor described by ``options``.
 
     Parameters
@@ -317,12 +332,16 @@ def build(options: CompositeOptions, profile: str = "default") -> BranchPredicto
     options:
         Which base predictor and which side components to assemble.
     profile:
-        Size profile: ``"default"`` for the benchmark harness or
-        ``"small"`` for fast unit tests.
+        Size profile: a profile name (``"default"`` for the benchmark
+        harness, ``"small"`` for fast unit tests, or any name registered on
+        the default registry) or a :class:`SizeProfile` instance.
     """
-    if profile not in _PROFILES:
+    if isinstance(profile, SizeProfile):
+        sizes = profile
+    elif profile in _PROFILES:
+        sizes = _PROFILES[profile]
+    else:
         raise KeyError(f"unknown size profile {profile!r}; known: {sorted(_PROFILES)}")
-    sizes = _PROFILES[profile]
 
     extra_components: List[NeuralComponent] = []
     oh_component: Optional[IMLIOuterHistoryComponent] = None
@@ -447,29 +466,34 @@ def _registry() -> Dict[str, CompositeOptions]:
     return configurations
 
 
+#: The paper's named configurations.  This dict doubles as the option store
+#: of the default :class:`repro.api.registry.Registry`, so configurations
+#: registered there (``register_configuration``) appear here too and vice
+#: versa.  Prefer the registry for new code; this name is kept as a
+#: backwards-compatible view.
 CONFIGURATIONS: Dict[str, CompositeOptions] = _registry()
 
 
 def configuration_names() -> List[str]:
-    """Names of all predefined composite configurations."""
-    return list(CONFIGURATIONS)
+    """Names of all registered configurations (options- and builder-based)."""
+    from repro.api.registry import default_registry
+
+    return default_registry().names()
 
 
 def build_named(name: str, profile: str = "default") -> BranchPredictor:
-    """Build one of the predefined configurations by name."""
-    try:
-        options = CONFIGURATIONS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown configuration {name!r}; known: {configuration_names()}"
-        ) from None
-    predictor = build(options, profile=profile)
-    predictor.name = name
-    return predictor
+    """Build one of the registered configurations by name.
+
+    Thin shim over :meth:`repro.api.registry.Registry.build` on the default
+    registry, kept for backwards compatibility.
+    """
+    from repro.api.registry import default_registry
+
+    return default_registry().build(name, profile=profile)
 
 
 def factory(name: str, profile: str = "default") -> Callable[[], BranchPredictor]:
-    """Return a zero-argument factory for a predefined configuration.
+    """Return a zero-argument factory for a registered configuration.
 
     The simulation runner builds a fresh predictor per trace, so factories
     rather than instances are passed around.

@@ -12,40 +12,109 @@ With ``max_workers`` set, the runner fans independent ``(configuration,
 trace)`` simulations across a :class:`concurrent.futures.ProcessPoolExecutor`
 -- each pair is a self-contained unit of work (a fresh predictor trained on
 one trace), so the parallel results are bit-identical to the serial ones and
-are merged back into the same memoisation cache.  Only configurations built
-from the composite registry by name can be dispatched to workers;
-configurations with custom (potentially unpicklable) factories fall back to
-in-process simulation transparently.
+are merged back into the same memoisation cache.  Registry-named
+configurations and declarative :class:`~repro.api.specs.PredictorSpec`
+objects (after resolving to explicit options) can be dispatched to workers;
+configurations with custom (potentially unpicklable) factories or
+builder-based specs fall back to in-process simulation transparently.
 """
 
 from __future__ import annotations
 
+import json
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.predictors.base import BranchPredictor
-from repro.predictors.composites import build_named
+from repro.predictors.composites import CompositeOptions, SizeProfile
 from repro.sim.engine import SimulationResult, simulate
 from repro.sim.metrics import average_mpki
 from repro.trace.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sim must not
+    from repro.api.specs import PredictorSpec  # depend on api at runtime)
 
 __all__ = ["ConfigurationRun", "SuiteRunner"]
 
 PredictorFactory = Callable[[], BranchPredictor]
 
-#: Memoisation key: (configuration name, per-PC tracking requested).  The
+#: Memoisation key: (label, profile, per-PC tracking requested, registry
+#: uid, content token).  The profile is part of the key because specs
+#: carry their own profile which may differ from the runner's; the
 #: tracking flag is part of the key because a run simulated without per-PC
 #: tracking has empty ``per_pc_mispredictions`` and must not satisfy a
-#: later request that needs them.
-_CacheKey = Tuple[str, bool]
+#: later request that needs them; the registry uid (the stable
+#: ``Registry.uid`` of whichever registry resolves the spec; 0 for
+#: registry-free factory runs) keeps results built against different
+#: registries from shadowing each other; and the content token (a
+#: canonical dump of the spec minus its display name, or ``"factory"``)
+#: keeps two specs that merely share a label from poisoning each other's
+#: entries.
+#:
+#: Each entry stores a validity stamp next to the run: the registry's
+#: mutation ``token`` for spec entries (a registry mutation bumps the
+#: token, so stale results are never served and are replaced in place --
+#: bounded growth), or the factory object itself for factory entries (a
+#: hit requires the same factory identity; holding the reference also
+#: keeps the cache bounded at one entry per label).
+_CacheKey = Tuple[str, str, bool, int, str]
+_CacheEntry = Tuple[object, "ConfigurationRun"]
 
 
-def _simulate_named(
-    configuration: str, profile: str, trace: Trace, track_per_pc: bool
+def _registry_identity(registry) -> Tuple[int, int]:
+    """(stable uid, current mutation token) of a registry (default if None)."""
+    if registry is None:
+        from repro.api.registry import default_registry
+
+        registry = default_registry()
+    return registry.uid, registry.token
+
+
+def _spec_content(spec: "PredictorSpec") -> str:
+    """Canonical content token of a spec, independent of its display name."""
+    data = spec.to_dict()
+    data.pop("name", None)
+    return json.dumps(data, sort_keys=True, default=repr)
+
+
+def _default_profile(profile: str) -> SizeProfile:
+    """Resolve a profile name against the default registry (parent side)."""
+    from repro.api.registry import default_registry
+
+    return default_registry().resolve_profile(profile)
+
+
+def _simulate_spec(
+    spec_dict: Dict[str, object],
+    sizes: "SizeProfile",
+    trace: Trace,
+    track_per_pc: bool,
 ) -> SimulationResult:
-    """Worker entry point: build a registry predictor and simulate one trace."""
-    predictor = build_named(configuration, profile=profile)
+    """Worker entry point: build a predictor from a spec dict and simulate.
+
+    The spec travels as its plain-dict form and the size profile as the
+    parent-resolved :class:`SizeProfile` instance (both picklable), so the
+    worker needs none of the parent process's registrations -- custom
+    profiles work even under the ``spawn`` start method.
+    """
+    from repro.api.registry import Registry
+    from repro.api.specs import PredictorSpec
+
+    spec = PredictorSpec.from_dict(spec_dict)
+    registry = Registry.with_defaults()
+    registry.register_profile(str(spec.profile), sizes, overwrite=True)
+    predictor = spec.build(registry)
     return simulate(predictor, trace, track_per_pc=track_per_pc)
 
 
@@ -110,16 +179,21 @@ class SuiteRunner:
         self.traces = list(traces)
         self.profile = profile
         self.max_workers = max_workers
-        self._cache: Dict[_CacheKey, ConfigurationRun] = {}
+        #: (validity stamp, run) per key -- see ``_CacheKey``/``_CacheEntry``.
+        self._cache: Dict[_CacheKey, _CacheEntry] = {}
         self._pool: Optional[ProcessPoolExecutor] = None
 
     def trace_names(self) -> List[str]:
         """Names of the traces the runner evaluates on."""
         return [trace.name for trace in self.traces]
 
+    def _parallel_for(self, units: int) -> bool:
+        """Whether ``units`` independent simulations warrant the pool."""
+        return self.max_workers is not None and self.max_workers > 1 and units > 1
+
     @property
     def _parallel(self) -> bool:
-        return self.max_workers is not None and self.max_workers > 1 and len(self.traces) > 1
+        return self._parallel_for(len(self.traces))
 
     def run(
         self,
@@ -127,39 +201,142 @@ class SuiteRunner:
         factory: Optional[PredictorFactory] = None,
         track_per_pc: bool = False,
     ) -> ConfigurationRun:
-        """Run ``configuration`` over every trace (memoised by name).
+        """Run ``configuration`` over every trace (memoised).
 
         ``factory`` overrides how the predictor is built; by default the
-        configuration name is looked up in the composite registry.  A fresh
-        predictor instance is built per trace, as in the championship
-        framework.  Results are memoised per ``(configuration,
-        track_per_pc)`` so a cached run without per-PC data is never
-        returned when per-PC data is requested.
+        configuration name is looked up in the composite registry (the
+        call is equivalent to :meth:`run_spec` with a named spec, and
+        shares its memoisation).  A fresh predictor instance is built per
+        trace, as in the championship framework.  Factory runs are always
+        in-process and are memoised on the factory's identity, so they
+        never shadow registry results for the same name (nor each other).
         """
-        key = (configuration, bool(track_per_pc))
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        if factory is None and self._parallel:
-            run = self._run_parallel([configuration], track_per_pc)[configuration]
-        else:
-            run = self._run_serial(configuration, factory, track_per_pc)
-        self._cache[key] = run
-        return run
-
-    def _run_serial(
-        self,
-        configuration: str,
-        factory: Optional[PredictorFactory],
-        track_per_pc: bool,
-    ) -> ConfigurationRun:
         if factory is None:
-            factory = lambda: build_named(configuration, profile=self.profile)  # noqa: E731
+            from repro.api.specs import PredictorSpec
+
+            return self.run_spec(
+                PredictorSpec.from_named(configuration, profile=self.profile),
+                track_per_pc,
+            )
+        key = (configuration, self.profile, bool(track_per_pc), 0, "factory")
+        cached = self._cache.get(key)
+        if cached is not None and cached[0] is factory:
+            return cached[1]
         run = ConfigurationRun(configuration=configuration)
         for trace in self.traces:
-            predictor = factory()
-            run.results.append(simulate(predictor, trace, track_per_pc=track_per_pc))
+            run.results.append(
+                simulate(factory(), trace, track_per_pc=track_per_pc)
+            )
+        self._cache[key] = (factory, run)
         return run
+
+    def _spec_key(
+        self, spec: "PredictorSpec", track_per_pc: bool, uid: int
+    ) -> _CacheKey:
+        return (
+            spec.label,
+            str(spec.profile),
+            bool(track_per_pc),
+            uid,
+            _spec_content(spec),
+        )
+
+    def _cached_spec_run(
+        self, key: _CacheKey, token: int
+    ) -> Optional[ConfigurationRun]:
+        cached = self._cache.get(key)
+        if cached is not None and cached[0] == token:
+            return cached[1]
+        return None
+
+    def run_spec(
+        self,
+        spec: "PredictorSpec",
+        track_per_pc: bool = False,
+        registry=None,
+    ) -> ConfigurationRun:
+        """Run a declarative :class:`~repro.api.specs.PredictorSpec`.
+
+        The spec carries its own profile and overrides; results are
+        memoised on the spec's label *and* content (see ``_CacheKey``), so
+        same-label specs with different content never shadow each other,
+        and :meth:`run`-style named callers share work with specs built
+        via ``from_named`` (content is compared textually, so an
+        options-based spec does not share with the equivalent named one).
+        A registry mutation invalidates its entries (stale entries are
+        replaced in place, so mutate-then-run cycles do not grow the
+        cache).  Specs that resolve to explicit options are dispatched to
+        the worker pool when one is configured (and no scoped ``registry``
+        is in play); builder-based specs run in-process.
+        """
+        uid, token = _registry_identity(registry)
+        key = self._spec_key(spec, track_per_pc, uid)
+        cached = self._cached_spec_run(key, token)
+        if cached is not None:
+            return cached
+        resolved = spec.resolve(registry)
+        if (
+            registry is None
+            and self._parallel
+            and isinstance(resolved.base, CompositeOptions)
+        ):
+            run = self._run_parallel_specs({spec.label: resolved}, track_per_pc)[
+                spec.label
+            ]
+        else:
+            run = ConfigurationRun(configuration=spec.label)
+            for trace in self.traces:
+                predictor = spec.build(registry)
+                run.results.append(
+                    simulate(predictor, trace, track_per_pc=track_per_pc)
+                )
+        self._cache[key] = (token, run)
+        return run
+
+    def run_specs(
+        self,
+        specs: Iterable["PredictorSpec"],
+        track_per_pc: bool = False,
+        registry=None,
+    ) -> Dict[str, ConfigurationRun]:
+        """Run several specs and return their runs keyed by label.
+
+        Like :meth:`run_many`, all missing portable specs are dispatched to
+        the process pool as one batch of ``(spec, trace)`` pairs.  Two
+        different specs sharing one label would shadow each other in the
+        returned dict, so that is rejected.
+        """
+        specs = list(specs)
+        contents: Dict[str, str] = {}
+        for spec in specs:
+            content = _spec_content(spec)
+            if contents.setdefault(spec.label, content) != content:
+                raise ValueError(
+                    f"two different specs share the label {spec.label!r}; "
+                    "give one an explicit name"
+                )
+        if registry is None:
+            uid, token = _registry_identity(registry)
+            batch: Dict[str, "PredictorSpec"] = {}
+            keys: Dict[str, _CacheKey] = {}
+            for spec in specs:
+                key = self._spec_key(spec, track_per_pc, uid)
+                if (
+                    self._cached_spec_run(key, token) is not None
+                    or spec.label in batch
+                ):
+                    continue
+                resolved = spec.resolve(registry)
+                if isinstance(resolved.base, CompositeOptions):
+                    batch[spec.label] = resolved
+                    keys[spec.label] = key
+            if self._parallel_for(len(batch) * len(self.traces)):
+                for label, run in self._run_parallel_specs(batch, track_per_pc).items():
+                    self._cache[keys[label]] = (token, run)
+        return {
+            spec.label: self.run_spec(spec, track_per_pc, registry=registry)
+            for spec in specs
+        }
 
     def _get_pool(self) -> ProcessPoolExecutor:
         """Worker pool, created on first use and reused across runs.
@@ -184,33 +361,36 @@ class SuiteRunner:
         except Exception:
             pass
 
-    def _run_parallel(
-        self, configurations: Sequence[str], track_per_pc: bool
+    def _run_parallel_specs(
+        self, specs: Mapping[str, "PredictorSpec"], track_per_pc: bool
     ) -> Dict[str, ConfigurationRun]:
-        """Fan every (configuration, trace) pair across the process pool."""
-        runs = {
-            configuration: ConfigurationRun(configuration=configuration)
-            for configuration in configurations
-        }
+        """Fan every (resolved spec, trace) pair across the process pool.
+
+        Profiles are resolved to :class:`SizeProfile` instances here, in
+        the parent, so workers never consult a registry for them (custom
+        profiles survive the ``spawn`` start method, and unknown profile
+        names fail fast with a parent-side KeyError).
+        """
+        runs = {label: ConfigurationRun(configuration=label) for label in specs}
         pool = self._get_pool()
         futures = [
             (
-                configuration,
+                label,
                 pool.submit(
-                    _simulate_named,
-                    configuration,
-                    self.profile,
+                    _simulate_spec,
+                    spec.to_dict(),
+                    _default_profile(spec.profile),
                     trace,
                     track_per_pc,
                 ),
             )
-            for configuration in configurations
+            for label, spec in specs.items()
             for trace in self.traces
         ]
-        # Futures were submitted in trace order per configuration, so
-        # appending in submission order preserves the serial layout.
-        for configuration, future in futures:
-            runs[configuration].results.append(future.result())
+        # Futures were submitted in trace order per label, so appending in
+        # submission order preserves the serial layout.
+        for label, future in futures:
+            runs[label].results.append(future.result())
         return runs
 
     def run_many(
@@ -225,32 +405,32 @@ class SuiteRunner:
         are dispatched to the process pool as one batch of
         ``(configuration, trace)`` pairs, which keeps every worker busy even
         when individual configurations have fewer traces than workers.
+        Configurations with custom factories run in-process.
         """
+        from repro.api.specs import PredictorSpec
+
         factories = factories or {}
         configurations = list(configurations)
-        runs: Dict[str, ConfigurationRun] = {}
-        if self._parallel:
-            missing = [
-                configuration
-                for configuration in configurations
-                if (configuration, bool(track_per_pc)) not in self._cache
-                and configuration not in factories
-            ]
-            if missing:
-                for configuration, run in self._run_parallel(
-                    missing, track_per_pc
-                ).items():
-                    self._cache[(configuration, bool(track_per_pc))] = run
-        for configuration in configurations:
-            runs[configuration] = self.run(
-                configuration, factories.get(configuration), track_per_pc
+        named = [c for c in configurations if c not in factories]
+        named_runs = self.run_specs(
+            (PredictorSpec.from_named(c, profile=self.profile) for c in named),
+            track_per_pc,
+        )
+        return {
+            configuration: (
+                named_runs[configuration]
+                if configuration in named_runs
+                else self.run(
+                    configuration, factories[configuration], track_per_pc
+                )
             )
-        return runs
+            for configuration in configurations
+        }
 
     def invalidate(self, configuration: Optional[str] = None) -> None:
-        """Drop memoised results (all of them, or one configuration)."""
+        """Drop memoised results (all of them, or one configuration/label)."""
         if configuration is None:
             self._cache.clear()
         else:
-            for track_per_pc in (False, True):
-                self._cache.pop((configuration, track_per_pc), None)
+            for key in [k for k in self._cache if k[0] == configuration]:
+                del self._cache[key]

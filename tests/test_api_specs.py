@@ -1,0 +1,205 @@
+"""Tests for the declarative spec and registry layer (repro.api)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    CompositeOptions,
+    PredictorSpec,
+    Registry,
+    SizeProfile,
+    default_registry,
+    register_configuration,
+)
+from repro.predictors.composites import (
+    CONFIGURATIONS,
+    _PROFILES,
+    build_named,
+    configuration_names,
+)
+from repro.predictors.simple import BimodalPredictor
+from repro.sim.engine import simulate
+
+
+class TestSpecRoundTrip:
+    @pytest.mark.parametrize("name", sorted(CONFIGURATIONS))
+    def test_every_legacy_configuration_round_trips(self, name):
+        spec = PredictorSpec.from_named(name, profile="small")
+        assert PredictorSpec.from_dict(spec.to_dict()) == spec
+        assert PredictorSpec.from_json(spec.to_json()) == spec
+        assert spec.label == name
+
+    @pytest.mark.parametrize("name", sorted(CONFIGURATIONS))
+    def test_round_tripped_spec_builds_bit_identical_predictor(self, name, easy_trace):
+        spec = PredictorSpec.from_dict(
+            PredictorSpec.from_named(name, profile="small").to_dict()
+        )
+        via_spec = simulate(spec.build(), easy_trace)
+        via_legacy = simulate(build_named(name, profile="small"), easy_trace)
+        assert via_spec.storage_bits == via_legacy.storage_bits
+        assert via_spec.mispredictions == via_legacy.mispredictions
+        assert via_spec.predictor_name == via_legacy.predictor_name == name
+
+    def test_options_base_round_trips(self):
+        spec = PredictorSpec(
+            base=CompositeOptions(base="gehl", imli_sic=True, imli_global_tables=1),
+            profile="small",
+            overrides={"oh_update_delay": 63},
+            name="my-variant",
+        )
+        clone = PredictorSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.label == "my-variant"
+
+    def test_resolve_pins_the_registry_label(self):
+        # tage-sc-l's options label would be tage-gsc+l; resolving must
+        # keep the registry name so cache keys and reports stay stable.
+        resolved = PredictorSpec.from_named("tage-sc-l", profile="small").resolve()
+        assert isinstance(resolved.base, CompositeOptions)
+        assert resolved.label == "tage-sc-l"
+        assert PredictorSpec.from_dict(resolved.to_dict()) == resolved
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError):
+            PredictorSpec.from_dict({"configuration": "tage-gsc", "profil": "small"})
+
+    def test_from_dict_needs_exactly_one_base(self):
+        with pytest.raises(ValueError):
+            PredictorSpec.from_dict({"profile": "small"})
+        with pytest.raises(ValueError):
+            PredictorSpec.from_dict(
+                {"configuration": "tage-gsc", "options": {"base": "gehl"}}
+            )
+
+    def test_invalid_base_type_rejected(self):
+        with pytest.raises(TypeError):
+            PredictorSpec(base=42)
+
+    def test_unknown_override_rejected_at_build(self):
+        spec = PredictorSpec.from_named("tage-gsc", profile="small", no_such_knob=1)
+        with pytest.raises(ValueError):
+            spec.build()
+
+
+class TestSweep:
+    def test_grid_expansion_is_cartesian(self):
+        spec = PredictorSpec.from_named("tage-gsc+oh", profile="small")
+        grid = spec.sweep(oh_update_delay=[0, 15, 63], imli_sic=[False, True])
+        assert len(grid) == 6
+        assert len({s.label for s in grid}) == 6
+        assert all(s.profile == "small" for s in grid)
+
+    def test_scalar_axis_counts_as_singleton(self):
+        spec = PredictorSpec.from_named("gehl", profile="small")
+        grid = spec.sweep(imli_sic=True, imli_global_tables=[0, 1, 2])
+        assert len(grid) == 3
+        assert all(s.overrides["imli_sic"] is True for s in grid)
+
+    def test_existing_overrides_are_merged(self):
+        spec = PredictorSpec.from_named("tage-gsc", profile="small", imli_sic=True)
+        (only,) = spec.sweep(imli_oh=[True])
+        assert only.overrides == {"imli_sic": True, "imli_oh": True}
+
+    def test_empty_grid_returns_copy(self):
+        spec = PredictorSpec.from_named("tage-gsc", profile="small")
+        assert spec.sweep() == [spec]
+
+    def test_swept_specs_build(self, easy_trace):
+        spec = PredictorSpec.from_named("tage-gsc+oh", profile="small")
+        for variant in spec.sweep(oh_update_delay=[0, 63]):
+            result = simulate(variant.build(), easy_trace)
+            assert result.predictor_name == variant.label
+
+
+class TestRegistry:
+    def test_default_registry_mirrors_legacy_dict(self):
+        registry = default_registry()
+        assert set(CONFIGURATIONS) <= set(registry.names())
+        assert set(registry.profile_names()) == set(_PROFILES)
+
+    @pytest.mark.parametrize("name", ["tage-gsc", "gehl+imli", "tage-sc-l"])
+    def test_registry_build_matches_build_named(self, name, easy_trace):
+        via_registry = default_registry().build(name, profile="small")
+        via_shim = build_named(name, profile="small")
+        assert via_registry.storage_bits() == via_shim.storage_bits()
+        assert (
+            simulate(via_registry, easy_trace).mispredictions
+            == simulate(via_shim, easy_trace).mispredictions
+        )
+
+    def test_register_options_visible_through_shims(self):
+        options = CompositeOptions(base="gehl", imli_sic=True)
+        register_configuration("test-shim-visibility", options)
+        try:
+            assert "test-shim-visibility" in CONFIGURATIONS
+            assert "test-shim-visibility" in configuration_names()
+            predictor = build_named("test-shim-visibility", profile="small")
+            assert predictor.name == "test-shim-visibility"
+        finally:
+            default_registry().unregister("test-shim-visibility")
+        assert "test-shim-visibility" not in CONFIGURATIONS
+
+    def test_builder_decorator_registration(self):
+        registry = Registry.with_defaults()
+
+        @registry.register_configuration("test-bimodal")
+        def _build(profile, entries=64):
+            return BimodalPredictor(entries=entries)
+
+        assert "test-bimodal" in registry
+        predictor = registry.build("test-bimodal", profile="small")
+        assert predictor.name == "test-bimodal"
+        bigger = registry.build("test-bimodal", profile="small", entries=128)
+        assert bigger.storage_bits() == 2 * predictor.storage_bits()
+        # scoped: the default registry never saw it
+        assert "test-bimodal" not in default_registry()
+
+    def test_duplicate_registration_requires_overwrite(self):
+        registry = Registry.with_defaults()
+        with pytest.raises(ValueError):
+            registry.register_configuration("tage-gsc", CompositeOptions())
+        registry.register_configuration(
+            "tage-gsc", CompositeOptions(base="gehl"), overwrite=True
+        )
+        assert registry.options("tage-gsc").base == "gehl"
+
+    def test_unknown_names_rejected(self):
+        registry = Registry.with_defaults()
+        with pytest.raises(KeyError):
+            registry.build("no-such-predictor", profile="small")
+        with pytest.raises(KeyError):
+            registry.options("no-such-predictor")
+        with pytest.raises(KeyError):
+            registry.unregister("no-such-predictor")
+        with pytest.raises(KeyError):
+            registry.resolve_profile("no-such-profile")
+
+    def test_register_custom_profile(self, easy_trace):
+        registry = Registry.with_defaults()
+        small = registry.resolve_profile("small")
+
+        @registry.register_profile("test-tiny")
+        def _tiny():
+            import dataclasses
+
+            return dataclasses.replace(small, sic_entries=64, loop_entries=4)
+
+        assert "test-tiny" in registry.profile_names()
+        assert isinstance(registry.resolve_profile("test-tiny"), SizeProfile)
+        tiny = registry.build("tage-gsc+sic+loop", profile="test-tiny")
+        small_build = registry.build("tage-gsc+sic+loop", profile="small")
+        assert tiny.storage_bits() < small_build.storage_bits()
+
+    def test_spec_builds_against_scoped_registry(self, easy_trace):
+        registry = Registry.with_defaults()
+
+        @registry.register_configuration("test-custom")
+        def _build(profile):
+            return BimodalPredictor(entries=32)
+
+        spec = PredictorSpec.from_named("test-custom", profile="small")
+        result = simulate(spec.build(registry), easy_trace)
+        assert result.predictor_name == "test-custom"
+        # builder-based specs cannot be made declarative
+        assert spec.resolve(registry) is spec
