@@ -1,0 +1,199 @@
+"""Throughput regression gate for CI.
+
+Measures predictions per second for the headline configurations (the same
+four that ``bench_throughput.py`` tracks) on the SPEC2K6-12 trace, writes
+the numbers as JSON, and -- when given a baseline file -- fails if any
+configuration dropped by more than the allowed fraction.  The committed
+baseline (``benchmarks/baselines/BENCH_baseline.json``) is seeded from the
+PR 1 numbers in ``docs/PERFORMANCE.md``.
+
+Usage::
+
+    # CI gate: measure, write BENCH_pr.json, compare against the baseline
+    python benchmarks/check_regression.py \
+        --output BENCH_pr.json \
+        --baseline benchmarks/baselines/BENCH_baseline.json
+
+    # refresh the committed baseline after an intentional perf change
+    python benchmarks/check_regression.py \
+        --write-baseline benchmarks/baselines/BENCH_baseline.json
+
+    # sanity check: with the fast engine disabled the gate must fail
+    python benchmarks/check_regression.py --no-fast-path \
+        --baseline benchmarks/baselines/BENCH_baseline.json
+
+Environment overrides: ``REPRO_BENCH_MAX_DROP`` (fraction, default 0.25)
+and ``REPRO_BENCH_ROUNDS`` mirror ``--max-drop`` / ``--rounds`` for CI
+without editing the workflow file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.predictors.composites import build_named
+from repro.sim.engine import simulate
+from repro.workloads.suites import generate_benchmark, get_benchmark
+
+#: Headline configurations, matching benchmarks/bench_throughput.py.
+CONFIGURATIONS = ["bimodal-baseline", "tage-gsc", "tage-gsc+imli", "gehl+imli"]
+
+#: Workload matching the committed baseline (docs/PERFORMANCE.md):
+#: SPEC2K6-12, 1500 conditional branches, default size profile.
+SUITE = "cbp4like"
+BENCHMARK = "SPEC2K6-12"
+LENGTH = 1500
+PROFILE = "default"
+
+
+def _build(configuration: str):
+    if configuration == "bimodal-baseline":
+        from repro.predictors.simple import BimodalPredictor
+
+        return BimodalPredictor()
+    return build_named(configuration, profile=PROFILE)
+
+
+def measure(rounds: int, use_fast_path: Optional[bool]) -> Dict[str, float]:
+    """Best-of-``rounds`` predictions/s per configuration.
+
+    ``use_fast_path=None`` lets the engine pick the fast path (the
+    production default); ``False`` forces the reference path, which is how
+    the gate is shown to actually fire.
+    """
+    trace = generate_benchmark(
+        get_benchmark(SUITE, BENCHMARK), target_conditional_branches=LENGTH
+    )
+    throughput: Dict[str, float] = {}
+    for configuration in CONFIGURATIONS:
+        best = 0.0
+        for _ in range(rounds):
+            predictor = _build(configuration)
+            start = time.perf_counter()
+            result = simulate(predictor, trace, use_fast_path=use_fast_path)
+            elapsed = time.perf_counter() - start
+            if result.conditional_branches != trace.conditional_count:
+                raise RuntimeError(
+                    f"{configuration}: simulated "
+                    f"{result.conditional_branches} != {trace.conditional_count}"
+                )
+            best = max(best, result.conditional_branches / elapsed)
+        throughput[configuration] = best
+    return throughput
+
+
+def compare(
+    current: Dict[str, float], baseline: Dict[str, float], max_drop: float
+) -> int:
+    """Print the comparison table; return the number of regressions."""
+    regressions = 0
+    print(f"{'configuration':<20} {'baseline':>12} {'current':>12} {'ratio':>8}")
+    for configuration, reference in baseline.items():
+        measured = current.get(configuration)
+        if measured is None:
+            print(f"{configuration:<20} {reference:>12.0f} {'missing':>12}")
+            regressions += 1
+            continue
+        ratio = measured / reference
+        verdict = ""
+        if ratio < 1.0 - max_drop:
+            verdict = f"  REGRESSION (> {max_drop:.0%} drop)"
+            regressions += 1
+        print(
+            f"{configuration:<20} {reference:>12.0f} {measured:>12.0f} "
+            f"{ratio:>7.2f}x{verdict}"
+        )
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the measured numbers as JSON (the CI artifact)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline JSON to gate against (no comparison when omitted)",
+    )
+    parser.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="write the measured numbers as a new baseline file and exit",
+    )
+    parser.add_argument(
+        "--max-drop",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_MAX_DROP", "0.25")),
+        help="maximum tolerated fractional drop vs the baseline "
+             "(default 0.25, i.e. fail below 75%% of baseline)",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=int(os.environ.get("REPRO_BENCH_ROUNDS", "3")),
+        help="timing rounds per configuration, best-of (default 3)",
+    )
+    parser.add_argument(
+        "--no-fast-path", action="store_true",
+        help="force the reference simulation path (the gate must then fail)",
+    )
+    args = parser.parse_args(argv)
+
+    throughput = measure(args.rounds, False if args.no_fast_path else None)
+    document = {
+        "meta": {
+            "suite": SUITE,
+            "benchmark": BENCHMARK,
+            "length": LENGTH,
+            "profile": PROFILE,
+            "rounds": args.rounds,
+            "fast_path": not args.no_fast_path,
+            "python": platform.python_version(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        },
+        "predictions_per_second": {
+            name: round(value, 1) for name, value in throughput.items()
+        },
+    }
+    for destination in (args.output, args.write_baseline):
+        if destination:
+            Path(destination).parent.mkdir(parents=True, exist_ok=True)
+            Path(destination).write_text(
+                json.dumps(document, indent=2) + "\n", encoding="utf-8"
+            )
+            print(f"wrote {destination}", file=sys.stderr)
+    if args.write_baseline:
+        return 0
+    if args.baseline is None:
+        for name, value in throughput.items():
+            print(f"{name:<20} {value:>12.0f} predictions/s")
+        return 0
+
+    baseline_doc = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
+    baseline = baseline_doc["predictions_per_second"]
+    regressions = compare(document["predictions_per_second"], baseline, args.max_drop)
+    if regressions:
+        print(
+            f"FAIL: {regressions} configuration(s) regressed more than "
+            f"{args.max_drop:.0%} vs {args.baseline}",
+            file=sys.stderr,
+        )
+        print(
+            "If the change is an intentional trade-off, refresh the baseline "
+            "with --write-baseline (see docs/PERFORMANCE.md).",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: all configurations within {args.max_drop:.0%} of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,6 +64,7 @@ from repro.predictors import (
     configuration_names,
 )
 from repro.sim import SimulationResult, SuiteRunner, simulate
+from repro.store import ResultStore
 from repro.trace import BranchKind, BranchRecord, Trace
 from repro.workloads import generate_benchmark, generate_suite
 
@@ -82,6 +83,7 @@ __all__ = [
     "PredictorSpec",
     "Registry",
     "ResultSet",
+    "ResultStore",
     "SimulationResult",
     "SizeProfile",
     "SpeculativeIMLITracker",

@@ -31,6 +31,7 @@ from repro.api.registry import Registry
 from repro.api.specs import PredictorSpec
 from repro.sim.metrics import mpki_delta
 from repro.sim.runner import ConfigurationRun, SuiteRunner
+from repro.store import ResultStore
 from repro.trace.trace import Trace
 
 __all__ = ["Experiment", "ResultSet"]
@@ -219,6 +220,14 @@ class Experiment:
         Scoped :class:`Registry` to resolve names against (default: the
         process-wide registry).  Scoped registries imply in-process
         simulation, since worker processes cannot see their registrations.
+    store:
+        Persistent result store: a :class:`~repro.store.ResultStore`, a
+        directory path, ``None`` (default -- honour the
+        ``REPRO_RESULT_STORE`` environment variable) or ``False`` (no
+        store).  Completed ``(spec, trace)`` cells are read from and
+        written to the store, so re-running an interrupted or extended
+        experiment recomputes only the missing cells (see
+        ``docs/API.md``).
     """
 
     def __init__(
@@ -232,6 +241,7 @@ class Experiment:
         profile: str = "default",
         jobs: int = 1,
         registry: Optional[Registry] = None,
+        store: Union["ResultStore", str, None, bool] = None,
     ) -> None:
         self.specs = [
             spec
@@ -257,6 +267,7 @@ class Experiment:
         self.profile = profile
         self.jobs = jobs
         self.registry = registry
+        self.store = ResultStore.resolve(store)
         self._traces = list(traces) if traces is not None else None
         self._runner: Optional[SuiteRunner] = None
 
@@ -330,6 +341,7 @@ class Experiment:
                 self.traces(),
                 profile=self.profile,
                 max_workers=self.jobs if self.jobs and self.jobs > 1 else None,
+                store=self.store if self.store is not None else False,
             )
         return self._runner
 

@@ -17,6 +17,7 @@ boundaries for the parallel runner, and build fresh predictors on demand::
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import json
 from dataclasses import asdict, dataclass, field, replace
@@ -90,6 +91,27 @@ class PredictorSpec:
             return base
         suffix = ",".join(f"{key}={self.overrides[key]}" for key in sorted(self.overrides))
         return f"{base}[{suffix}]"
+
+    def content(self) -> str:
+        """Canonical, label-independent content of this spec.
+
+        A deterministic JSON dump of :meth:`to_dict` minus the display
+        ``name``: two specs that build the same predictor the same way have
+        equal content regardless of what they are called, and the string is
+        stable across processes and sessions (keys are sorted, no hashes of
+        live objects).  This is the spec component of the suite runner's
+        memoisation key and of persistent result-store keys
+        (:mod:`repro.store`).  Note that a *named* spec and its
+        :meth:`resolve`-d explicit-options form have different content;
+        resolve first when registry-independent identity is wanted.
+        """
+        data = self.to_dict()
+        data.pop("name", None)
+        return json.dumps(data, sort_keys=True, default=repr)
+
+    def content_hash(self) -> str:
+        """SHA-256 hex digest of :meth:`content`."""
+        return hashlib.sha256(self.content().encode("utf-8")).hexdigest()
 
     # ----------------------------------------------------------------- #
     # Building

@@ -20,6 +20,12 @@ The CLI exposes the library's main workflows without writing any Python:
 ``python -m repro trace``
     Generate one synthetic benchmark trace and write it to a file in the
     library's text format.
+``python -m repro store``
+    Inspect and maintain the persistent result store (``ls`` / ``gc`` /
+    ``export``).  ``simulate`` and ``sweep`` read and write the store when
+    ``--store DIR`` (or ``REPRO_RESULT_STORE``) names one, so an
+    interrupted sweep restarted with ``--resume`` recomputes only the
+    missing cells.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ from repro.api.experiment import Experiment
 from repro.api.registry import default_registry
 from repro.api.specs import PredictorSpec
 from repro.sim.runner import SuiteRunner
+from repro.store import ResultStore
 from repro.trace.trace import save_trace, save_trace_binary
 from repro.workloads.suites import (
     benchmark_names,
@@ -68,6 +75,19 @@ def _add_workload_arguments(parser: argparse.ArgumentParser, length: int) -> Non
     parser.add_argument(
         "--jobs", "-j", type=_positive_int, default=1,
         help="worker processes for the simulations (default: 1, in-process)",
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persistent result store directory; completed (spec, trace) "
+             "cells are reused and new ones persisted "
+             "(default: $REPRO_RESULT_STORE when set)",
+    )
+
+
+def _add_store_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="result store directory (default: $REPRO_RESULT_STORE)",
     )
 
 
@@ -118,6 +138,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv", dest="csv_output", default=None, metavar="FILE",
         help="write the MPKI table as CSV to FILE ('-' for stdout)",
     )
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="require a persistent result store (--store or "
+             "$REPRO_RESULT_STORE) so completed (spec, trace) cells are "
+             "reused and only missing ones are recomputed; without this "
+             "flag a configured store is still used, but its absence is "
+             "not an error",
+    )
     _add_workload_arguments(sweep, length=2500)
 
     experiment = subparsers.add_parser(
@@ -136,6 +164,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", "-j", type=_positive_int, default=1,
         help="worker processes for the simulations (default: 1, in-process)",
     )
+
+    store = subparsers.add_parser(
+        "store", help="inspect and maintain the persistent result store"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_ls = store_sub.add_parser("ls", help="list the stored result cells")
+    _add_store_argument(store_ls)
+    store_gc = store_sub.add_parser(
+        "gc", help="delete stored cells older than a cut-off"
+    )
+    store_gc.add_argument(
+        "--older-than", required=True, metavar="AGE",
+        help="age cut-off, e.g. 30d, 12h, 45m, 90s (bare numbers are seconds)",
+    )
+    _add_store_argument(store_gc)
+    store_export = store_sub.add_parser(
+        "export", help="dump every stored record as one JSON document"
+    )
+    store_export.add_argument(
+        "--output", default="-", metavar="FILE",
+        help="destination file ('-' for stdout, the default)",
+    )
+    _add_store_argument(store_export)
 
     trace = subparsers.add_parser("trace", help="generate one benchmark trace to a file")
     trace.add_argument("--suite", default="cbp4like", choices=suite_names())
@@ -209,6 +260,44 @@ def _error_message(error: BaseException) -> str:
     return str(error)
 
 
+#: Duration suffixes accepted by ``repro store gc --older-than``.
+_DURATION_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0}
+
+
+def _parse_duration(raw: str) -> float:
+    """Parse ``"30d"`` / ``"12h"`` / ``"90s"`` / ``"120"`` into seconds."""
+    text = raw.strip().lower()
+    unit = 1.0
+    if text and text[-1] in _DURATION_UNITS:
+        unit = _DURATION_UNITS[text[-1]]
+        text = text[:-1]
+    try:
+        value = float(text)
+    except ValueError:
+        raise ValueError(
+            f"invalid duration {raw!r}; use e.g. 30d, 12h, 45m, 90s"
+        ) from None
+    if value < 0:
+        raise ValueError(f"duration must be non-negative, got {raw!r}")
+    return value * unit
+
+
+def _resolve_store(path: Optional[str]) -> Optional[ResultStore]:
+    """Store from ``--store`` or ``$REPRO_RESULT_STORE`` (None when neither)."""
+    if path is not None:
+        return ResultStore(path)
+    return ResultStore.from_env()
+
+
+def _report_store_use(store: Optional[ResultStore]) -> None:
+    if store is not None and (store.hits or store.misses):
+        print(
+            f"result store {store.root}: {store.hits} cell(s) reused, "
+            f"{store.misses} computed",
+            file=sys.stderr,
+        )
+
+
 def _write_output(text: str, destination: str) -> None:
     if destination == "-":
         print(text)
@@ -253,6 +342,7 @@ def _command_simulate(args: argparse.Namespace) -> int:
     if not specs:
         print("no configurations selected", file=sys.stderr)
         return 2
+    store = _resolve_store(args.store)
     try:
         experiment = Experiment(
             specs,
@@ -261,6 +351,7 @@ def _command_simulate(args: argparse.Namespace) -> int:
             length=args.length,
             profile=args.profile,
             jobs=args.jobs,
+            store=store if store is not None else False,
         )
         results = experiment.run()
     except (KeyError, TypeError, ValueError) as error:
@@ -269,10 +360,19 @@ def _command_simulate(args: argparse.Namespace) -> int:
     print(results.report(
         title=f"MPKI on {args.suite} ({args.length} conditional branches per benchmark)"
     ))
+    _report_store_use(store)
     return 0
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
+    store = _resolve_store(args.store)
+    if args.resume and store is None:
+        print(
+            "--resume needs a result store: pass --store DIR or set "
+            "REPRO_RESULT_STORE",
+            file=sys.stderr,
+        )
+        return 2
     if args.base.endswith(".json"):
         try:
             loaded = _load_spec_file(args.base)
@@ -310,6 +410,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
             length=args.length,
             profile=args.profile,
             jobs=args.jobs,
+            store=store if store is not None else False,
         )
         results = experiment.run(baseline=base_spec)
     except (KeyError, TypeError, ValueError) as error:
@@ -323,6 +424,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         _write_output(results.to_json(), args.json_output)
     if args.csv_output:
         _write_output(results.to_csv(), args.csv_output)
+    _report_store_use(store)
     return 0
 
 
@@ -343,6 +445,62 @@ def _command_experiment(args: argparse.Namespace) -> int:
     result = run_experiment(args.experiment_id, runners)
     print(result.report())
     return 0
+
+
+def _command_store(args: argparse.Namespace) -> int:
+    store = _resolve_store(args.store)
+    if store is None:
+        print(
+            "no result store: pass --store DIR or set REPRO_RESULT_STORE",
+            file=sys.stderr,
+        )
+        return 2
+    if args.store_command == "ls":
+        count = 0
+        for record in store.records():
+            result = record.get("result", {})
+            instructions = int(result.get("instructions", 0))
+            if instructions > 0:
+                mpki = 1000.0 * int(result.get("mispredictions", 0)) / instructions
+                mpki_text = f"{mpki:8.3f}"
+            else:
+                mpki_text = "     n/a"
+            age = record.get("age_seconds", 0.0)
+            print(
+                f"{record.get('key', '?')[:12]}  "
+                f"{result.get('predictor_name', '?'):<32} "
+                f"{result.get('trace_name', '?'):<12} "
+                f"mpki={mpki_text}  age={_format_age(age)}"
+            )
+            count += 1
+        print(f"{count} record(s) in {store.root}", file=sys.stderr)
+        return 0
+    if args.store_command == "gc":
+        try:
+            cutoff = _parse_duration(args.older_than)
+        except ValueError as error:
+            print(_error_message(error), file=sys.stderr)
+            return 2
+        removed = store.gc(cutoff)
+        print(
+            f"removed {removed} record(s) older than {args.older_than} "
+            f"from {store.root}",
+            file=sys.stderr,
+        )
+        return 0
+    if args.store_command == "export":
+        _write_output(json.dumps(store.export(), indent=2), args.output)
+        return 0
+    raise AssertionError(
+        f"unhandled store command {args.store_command!r}"
+    )  # pragma: no cover
+
+
+def _format_age(seconds: float) -> str:
+    for unit, size in (("d", 86400.0), ("h", 3600.0), ("m", 60.0)):
+        if seconds >= size:
+            return f"{seconds / size:.1f}{unit}"
+    return f"{seconds:.0f}s"
 
 
 def _command_trace(args: argparse.Namespace) -> int:
@@ -372,6 +530,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_sweep(args)
     if args.command == "experiment":
         return _command_experiment(args)
+    if args.command == "store":
+        return _command_store(args)
     if args.command == "trace":
         return _command_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

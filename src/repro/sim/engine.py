@@ -32,7 +32,14 @@ from repro.predictors.base import BranchPredictor
 from repro.trace.branch import CONDITIONAL_CODE
 from repro.trace.trace import Trace
 
-__all__ = ["SimulationResult", "simulate", "supports_fast_path"]
+__all__ = ["ENGINE_VERSION", "SimulationResult", "simulate", "supports_fast_path"]
+
+#: Version of the simulation semantics.  Bump whenever a change alters the
+#: numbers :func:`simulate` produces for an unchanged (predictor, trace)
+#: pair -- the persistent result store (:mod:`repro.store`) folds this into
+#: its cell keys, so bumping it retires every stored result at once.
+#: Pure-speed changes that keep results bit-identical must NOT bump it.
+ENGINE_VERSION = 1
 
 
 @dataclass

@@ -21,9 +21,10 @@ builder-based specs fall back to in-process simulation transparently.
 
 from __future__ import annotations
 
-import json
+import hashlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import (
     TYPE_CHECKING,
     Callable,
@@ -34,12 +35,14 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
 from repro.predictors.base import BranchPredictor
 from repro.predictors.composites import CompositeOptions, SizeProfile
 from repro.sim.engine import SimulationResult, simulate
 from repro.sim.metrics import average_mpki
+from repro.store import ResultStore, profile_content
 from repro.trace.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sim must not
@@ -50,17 +53,21 @@ __all__ = ["ConfigurationRun", "SuiteRunner"]
 PredictorFactory = Callable[[], BranchPredictor]
 
 #: Memoisation key: (label, profile, per-PC tracking requested, registry
-#: uid, content token).  The profile is part of the key because specs
-#: carry their own profile which may differ from the runner's; the
-#: tracking flag is part of the key because a run simulated without per-PC
-#: tracking has empty ``per_pc_mispredictions`` and must not satisfy a
-#: later request that needs them; the registry uid (the stable
-#: ``Registry.uid`` of whichever registry resolves the spec; 0 for
+#: uid, content token, traces digest).  The profile is part of the key
+#: because specs carry their own profile which may differ from the
+#: runner's; the tracking flag is part of the key because a run simulated
+#: without per-PC tracking has empty ``per_pc_mispredictions`` and must
+#: not satisfy a later request that needs them; the registry uid (the
+#: stable ``Registry.uid`` of whichever registry resolves the spec; 0 for
 #: registry-free factory runs) keeps results built against different
-#: registries from shadowing each other; and the content token (a
-#: canonical dump of the spec minus its display name, or ``"factory"``)
-#: keeps two specs that merely share a label from poisoning each other's
-#: entries.
+#: registries from shadowing each other; the content token (a canonical
+#: dump of the spec minus its display name, or ``"factory"``) keeps two
+#: specs that merely share a label from poisoning each other's entries;
+#: and the traces digest (a hash over the traces' content fingerprints,
+#: recomputed per lookup) keeps results keyed on what the traces *are*,
+#: not which benchmarks they are named after -- a trace regenerated with
+#: different content (e.g. after ``REPRO_TRACE_CACHE`` invalidation, or
+#: mutated in place) can never be served a stale run.
 #:
 #: Each entry stores a validity stamp next to the run: the registry's
 #: mutation ``token`` for spec entries (a registry mutation bumps the
@@ -68,7 +75,7 @@ PredictorFactory = Callable[[], BranchPredictor]
 #: bounded growth), or the factory object itself for factory entries (a
 #: hit requires the same factory identity; holding the reference also
 #: keeps the cache bounded at one entry per label).
-_CacheKey = Tuple[str, str, bool, int, str]
+_CacheKey = Tuple[str, str, bool, int, str, str]
 _CacheEntry = Tuple[object, "ConfigurationRun"]
 
 
@@ -83,9 +90,7 @@ def _registry_identity(registry) -> Tuple[int, int]:
 
 def _spec_content(spec: "PredictorSpec") -> str:
     """Canonical content token of a spec, independent of its display name."""
-    data = spec.to_dict()
-    data.pop("name", None)
-    return json.dumps(data, sort_keys=True, default=repr)
+    return spec.content()
 
 
 def _default_profile(profile: str) -> SizeProfile:
@@ -164,6 +169,16 @@ class SuiteRunner:
         When greater than 1, registry-named configurations are simulated in
         a process pool with this many workers; ``None`` or 1 keeps
         everything in-process.
+    store:
+        Persistent result store: a :class:`~repro.store.ResultStore`, a
+        directory path, ``None`` (default -- honour ``REPRO_RESULT_STORE``)
+        or ``False`` (no store even when the variable is set).  With a
+        store, every options-based ``(spec, trace)`` cell is looked up
+        before simulating and persisted after, so killed or extended
+        sweeps resume from completed cells and separate runs (and
+        concurrent workers) sharing one store directory reuse each other's
+        results.  Factory and builder-based runs have no content-addressed
+        identity and bypass the store.
     """
 
     def __init__(
@@ -171,6 +186,7 @@ class SuiteRunner:
         traces: Sequence[Trace],
         profile: str = "default",
         max_workers: Optional[int] = None,
+        store: Union[ResultStore, str, Path, None, bool] = None,
     ) -> None:
         if not traces:
             raise ValueError("the runner needs at least one trace")
@@ -179,6 +195,7 @@ class SuiteRunner:
         self.traces = list(traces)
         self.profile = profile
         self.max_workers = max_workers
+        self.store = ResultStore.resolve(store)
         #: (validity stamp, run) per key -- see ``_CacheKey``/``_CacheEntry``.
         self._cache: Dict[_CacheKey, _CacheEntry] = {}
         self._pool: Optional[ProcessPoolExecutor] = None
@@ -186,6 +203,18 @@ class SuiteRunner:
     def trace_names(self) -> List[str]:
         """Names of the traces the runner evaluates on."""
         return [trace.name for trace in self.traces]
+
+    def _traces_digest(self) -> str:
+        """Hash over the traces' content fingerprints (memo key component).
+
+        Recomputed per lookup from the traces' cached fingerprints, so a
+        trace mutated (or regenerated) in place changes the digest and the
+        memo can never serve a run computed from the old content.
+        """
+        digest = hashlib.sha256()
+        for trace in self.traces:
+            digest.update(trace.fingerprint().encode("ascii"))
+        return digest.hexdigest()
 
     def _parallel_for(self, units: int) -> bool:
         """Whether ``units`` independent simulations warrant the pool."""
@@ -218,7 +247,10 @@ class SuiteRunner:
                 PredictorSpec.from_named(configuration, profile=self.profile),
                 track_per_pc,
             )
-        key = (configuration, self.profile, bool(track_per_pc), 0, "factory")
+        key = (
+            configuration, self.profile, bool(track_per_pc), 0, "factory",
+            self._traces_digest(),
+        )
         cached = self._cache.get(key)
         if cached is not None and cached[0] is factory:
             return cached[1]
@@ -239,6 +271,7 @@ class SuiteRunner:
             bool(track_per_pc),
             uid,
             _spec_content(spec),
+            self._traces_digest(),
         )
 
     def _cached_spec_run(
@@ -248,6 +281,54 @@ class SuiteRunner:
         if cached is not None and cached[0] == token:
             return cached[1]
         return None
+
+    def _store_keys(
+        self, resolved: "PredictorSpec", track_per_pc: bool, registry
+    ) -> Optional[List[str]]:
+        """Per-trace persistent-store keys for a resolved spec.
+
+        ``None`` when the store does not apply: no store configured, the
+        spec did not resolve to explicit options (builder-based specs have
+        no content-addressed identity), or its profile name does not
+        resolve (the subsequent build will raise the real error).
+        """
+        if self.store is None or not isinstance(resolved.base, CompositeOptions):
+            return None
+        if registry is None:
+            from repro.api.registry import default_registry
+
+            registry = default_registry()
+        try:
+            sizes = registry.resolve_profile(resolved.profile)
+        except KeyError:
+            return None
+        content = resolved.content()
+        sizes_content = profile_content(sizes)
+        return [
+            ResultStore.cell_key(
+                content, sizes_content, trace.fingerprint(), track_per_pc
+            )
+            for trace in self.traces
+        ]
+
+    def _store_put(
+        self,
+        key: str,
+        result: SimulationResult,
+        resolved: "PredictorSpec",
+        trace: Trace,
+    ) -> None:
+        """Best-effort persist: an unwritable store must not fail the run."""
+        try:
+            self.store.put(
+                key,
+                result,
+                label=resolved.label,
+                trace_fingerprint=trace.fingerprint(),
+                spec=resolved.to_dict(),
+            )
+        except (OSError, TypeError, ValueError):
+            pass
 
     def run_spec(
         self,
@@ -284,12 +365,23 @@ class SuiteRunner:
                 spec.label
             ]
         else:
+            store_keys = self._store_keys(resolved, track_per_pc, registry)
             run = ConfigurationRun(configuration=spec.label)
-            for trace in self.traces:
-                predictor = spec.build(registry)
-                run.results.append(
-                    simulate(predictor, trace, track_per_pc=track_per_pc)
+            for index, trace in enumerate(self.traces):
+                result = (
+                    self.store.get(store_keys[index]) if store_keys else None
                 )
+                if result is None:
+                    result = simulate(
+                        spec.build(registry), trace, track_per_pc=track_per_pc
+                    )
+                    if store_keys:
+                        self._store_put(store_keys[index], result, resolved, trace)
+                else:
+                    # The stored cell may have been written under another
+                    # display name for the same content.
+                    result.predictor_name = spec.label
+                run.results.append(result)
         self._cache[key] = (token, run)
         return run
 
@@ -370,27 +462,59 @@ class SuiteRunner:
         the parent, so workers never consult a registry for them (custom
         profiles survive the ``spawn`` start method, and unknown profile
         names fail fast with a parent-side KeyError).
+
+        With a persistent store, cells already on disk are filled in
+        directly and only the misses are submitted -- a fully stored batch
+        never even spins up the pool.
         """
         runs = {label: ConfigurationRun(configuration=label) for label in specs}
-        pool = self._get_pool()
-        futures = [
-            (
-                label,
-                pool.submit(
-                    _simulate_spec,
-                    spec.to_dict(),
-                    _default_profile(spec.profile),
-                    trace,
-                    track_per_pc,
-                ),
-            )
+        slots: Dict[str, List[Optional[SimulationResult]]] = {
+            label: [None] * len(self.traces) for label in specs
+        }
+        store_keys = {
+            label: self._store_keys(spec, track_per_pc, None)
             for label, spec in specs.items()
-            for trace in self.traces
-        ]
-        # Futures were submitted in trace order per label, so appending in
-        # submission order preserves the serial layout.
-        for label, future in futures:
-            runs[label].results.append(future.result())
+        }
+        pending: List[Tuple[str, int]] = []
+        for label in specs:
+            keys = store_keys[label]
+            for index in range(len(self.traces)):
+                cached = self.store.get(keys[index]) if keys else None
+                if cached is not None:
+                    cached.predictor_name = label
+                    slots[label][index] = cached
+                else:
+                    pending.append((label, index))
+        if pending:
+            pool = self._get_pool()
+            sizes = {
+                label: _default_profile(spec.profile)
+                for label, spec in specs.items()
+            }
+            futures = [
+                (
+                    label,
+                    index,
+                    pool.submit(
+                        _simulate_spec,
+                        specs[label].to_dict(),
+                        sizes[label],
+                        self.traces[index],
+                        track_per_pc,
+                    ),
+                )
+                for label, index in pending
+            ]
+            for label, index, future in futures:
+                result = future.result()
+                keys = store_keys[label]
+                if keys:
+                    self._store_put(
+                        keys[index], result, specs[label], self.traces[index]
+                    )
+                slots[label][index] = result
+        for label in specs:
+            runs[label].results.extend(slots[label])
         return runs
 
     def run_many(

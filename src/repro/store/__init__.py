@@ -1,0 +1,5 @@
+"""Persistent result storage for sweeps (see :mod:`repro.store.result_store`)."""
+
+from repro.store.result_store import ResultStore, profile_content
+
+__all__ = ["ResultStore", "profile_content"]

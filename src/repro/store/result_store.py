@@ -1,0 +1,408 @@
+"""Persistent, content-addressed store of simulation results.
+
+Sweeps in this repository are grids of ``(predictor spec, trace)`` cells,
+each producing one :class:`~repro.sim.engine.SimulationResult`.  The
+:class:`ResultStore` persists those cells on disk so that
+
+* a killed or extended sweep resumes from its completed cells instead of
+  recomputing them (``repro sweep --resume``),
+* concurrent ``--jobs`` workers and *separate* processes sharing one store
+  directory reuse each other's results, and
+* future distributed runners have a dispatchable unit of work with a
+  stable identity.
+
+Cell identity
+-------------
+A cell key is the SHA-256 over the same identity the in-memory memo uses,
+made fully content-addressed so it survives process boundaries:
+
+* the **spec content** (:meth:`repro.api.specs.PredictorSpec.content` of
+  the *resolved* spec -- explicit options, label-independent);
+* the **resolved size profile** (canonical dump of the
+  :class:`~repro.predictors.composites.SizeProfile` the name resolved to,
+  so re-registering a profile name retires its old results);
+* the **trace fingerprint** (:meth:`repro.trace.trace.Trace.fingerprint`
+  -- the trace's actual content plus its name, never the benchmark name
+  alone, so a benchmark regenerated with different content under the same
+  name can never serve stale results; the flip side is that renaming a
+  trace retires its cells even when the content is unchanged);
+* the **engine version** (:data:`repro.sim.engine.ENGINE_VERSION`) and the
+  per-PC tracking flag.
+
+Record format and concurrency
+-----------------------------
+One record per cell at ``<root>/objects/<key[:2]>/<key>.json`` (or
+``.json.gz`` with ``compress=True``), written to a scratch file in the
+same directory and :func:`os.replace`-d into place, so readers never
+observe a partial record and concurrent writers of the same key settle on
+one complete (and, results being deterministic, identical) record.  The
+object tree doubles as the shared index: there is no central index file
+to contend over, which is what makes independent writers safe.  Corrupt
+records (truncated by a crash, hand-edited) are treated as misses and
+removed so the cell is recomputed and rewritten.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import os
+import threading
+import time
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.predictors.composites import SizeProfile
+from repro.sim.engine import ENGINE_VERSION, SimulationResult
+
+__all__ = ["ResultStore", "profile_content"]
+
+#: Bump when the on-disk record schema changes (old records become misses).
+_RECORD_VERSION = 1
+
+#: Environment variable naming the store directory: unset/``0``/``off``
+#: disables the store, anything else is the directory to use.
+_STORE_ENV = "REPRO_RESULT_STORE"
+
+#: Errors that mean "this record is unreadable", not "the store is broken".
+_CORRUPT_ERRORS = (OSError, ValueError, KeyError, TypeError, EOFError,
+                   json.JSONDecodeError, gzip.BadGzipFile)
+
+
+def profile_content(profile: SizeProfile) -> str:
+    """Canonical content string of a resolved :class:`SizeProfile`.
+
+    Deterministic across processes (sorted keys, plain values), so it can
+    take part in persistent cell keys the way the profile *name* cannot:
+    the name says nothing about the geometry it resolves to today.
+    """
+    return json.dumps(asdict(profile), sort_keys=True, default=repr)
+
+
+class ResultStore:
+    """On-disk, content-addressed store of per-cell simulation results.
+
+    Parameters
+    ----------
+    root:
+        Store directory (created lazily on first write).
+    compress:
+        Write new records gzip-compressed.  Reading transparently accepts
+        both plain and compressed records, so a store may mix them.
+
+    The ``hits`` / ``misses`` counters track this instance's :meth:`get`
+    outcomes; they are in-process statistics, not persisted state.
+    """
+
+    def __init__(self, root: Union[str, Path], compress: bool = False) -> None:
+        self.root = Path(root)
+        self.compress = bool(compress)
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore({str(self.root)!r})"
+
+    # ----------------------------------------------------------------- #
+    # Construction helpers
+    # ----------------------------------------------------------------- #
+
+    @classmethod
+    def from_env(cls) -> Optional["ResultStore"]:
+        """The store named by ``REPRO_RESULT_STORE``, or ``None``.
+
+        Unset, empty, ``0`` and ``off`` all mean "no store".
+        """
+        value = os.environ.get(_STORE_ENV)
+        if value is None or value.strip().lower() in ("", "0", "off"):
+            return None
+        return cls(value)
+
+    @classmethod
+    def resolve(
+        cls, store: Union["ResultStore", str, Path, None, bool]
+    ) -> Optional["ResultStore"]:
+        """Coerce a ``store=`` argument to a :class:`ResultStore` or ``None``.
+
+        Accepts a ready instance, a directory path, ``None`` or ``True``
+        (fall back to ``REPRO_RESULT_STORE``) or ``False`` (explicitly no
+        store, even if the environment variable is set).
+        """
+        if store is False:
+            return None
+        if store is None or store is True:
+            return cls.from_env()
+        if isinstance(store, ResultStore):
+            return store
+        return cls(store)
+
+    # ----------------------------------------------------------------- #
+    # Cell identity
+    # ----------------------------------------------------------------- #
+
+    @staticmethod
+    def cell_key(
+        spec_content: str,
+        profile: Union[SizeProfile, str],
+        trace_fingerprint: str,
+        track_per_pc: bool = False,
+    ) -> str:
+        """Content-addressed key of one ``(spec, trace)`` cell.
+
+        ``spec_content`` must come from a *resolved* spec
+        (:meth:`~repro.api.specs.PredictorSpec.resolve` then
+        :meth:`~repro.api.specs.PredictorSpec.content`) so the key does not
+        depend on any registry state; ``profile`` is the resolved
+        :class:`SizeProfile` (or its precomputed :func:`profile_content`).
+        """
+        payload = json.dumps(
+            {
+                "engine": ENGINE_VERSION,
+                "record": _RECORD_VERSION,
+                "spec": spec_content,
+                "profile": (
+                    profile if isinstance(profile, str) else profile_content(profile)
+                ),
+                "trace": trace_fingerprint,
+                "track_per_pc": bool(track_per_pc),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    # ----------------------------------------------------------------- #
+    # Record access
+    # ----------------------------------------------------------------- #
+
+    def _paths_for(self, key: str) -> List[Path]:
+        """Candidate record paths for ``key``, preferred format first."""
+        stem = self.root / "objects" / key[:2] / key
+        plain = stem.with_suffix(".json")
+        packed = stem.with_suffix(".json.gz")
+        return [packed, plain] if self.compress else [plain, packed]
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """The stored :class:`SimulationResult` for ``key``, or ``None``.
+
+        A corrupt record is removed and reported as a miss, so the caller
+        recomputes and rewrites the cell -- the store self-heals.
+        """
+        record = self._read_record(key)
+        if record is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return _result_from_record(record)
+
+    def get_record(self, key: str) -> Optional[Dict[str, Any]]:
+        """The raw record dict for ``key``, or ``None`` (no counters)."""
+        return self._read_record(key, count=False)
+
+    def _read_record(self, key: str, count: bool = True) -> Optional[Dict[str, Any]]:
+        for path in self._paths_for(key):
+            if not path.is_file():
+                continue
+            try:
+                record = _load_record(path)
+            except _CORRUPT_ERRORS:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                continue
+            if record.get("key") != key or "result" not in record:
+                # A record that does not describe its own key is corrupt
+                # (e.g. a file copied to the wrong name).
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                continue
+            return record
+        return None
+
+    def __contains__(self, key: object) -> bool:
+        return isinstance(key, str) and any(
+            path.is_file() for path in self._paths_for(key)
+        )
+
+    def put(
+        self,
+        key: str,
+        result: SimulationResult,
+        *,
+        label: Optional[str] = None,
+        trace_fingerprint: Optional[str] = None,
+        spec: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        """Persist ``result`` under ``key`` (atomic write-then-rename).
+
+        ``label``, ``trace_fingerprint`` and ``spec`` (the resolved spec's
+        dict form) are descriptive metadata for ``repro store ls`` /
+        ``export`` and debugging; identity lives entirely in ``key``.
+        """
+        record = {
+            "version": _RECORD_VERSION,
+            "engine_version": ENGINE_VERSION,
+            "key": key,
+            "created": time.time(),
+            "label": label if label is not None else result.predictor_name,
+            "trace_fingerprint": trace_fingerprint,
+            "spec": spec,
+            "result": {
+                "trace_name": result.trace_name,
+                "predictor_name": result.predictor_name,
+                "conditional_branches": result.conditional_branches,
+                "mispredictions": result.mispredictions,
+                "instructions": result.instructions,
+                "storage_bits": result.storage_bits,
+                "per_pc_mispredictions": {
+                    str(pc): count
+                    for pc, count in result.per_pc_mispredictions.items()
+                },
+            },
+        }
+        path = self._paths_for(key)[0]
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # default=repr: spec overrides may hold non-JSON values (specs allow
+        # Any); metadata is descriptive, so a repr beats failing the run.
+        payload = json.dumps(record, ensure_ascii=False, default=repr).encode("utf-8")
+        if path.suffix == ".gz":
+            # mtime=0 keeps equal payloads byte-identical across writers.
+            payload = gzip.compress(payload, mtime=0)
+        scratch = path.with_name(
+            f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
+        try:
+            scratch.write_bytes(payload)
+            os.replace(scratch, path)
+        except OSError:
+            try:
+                scratch.unlink()
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ----------------------------------------------------------------- #
+    # Maintenance / introspection
+    # ----------------------------------------------------------------- #
+
+    def _record_paths(self) -> Iterator[Path]:
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return
+        for shard in sorted(objects.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.iterdir()):
+                if path.name.startswith(".") or not path.is_file():
+                    continue
+                if path.name.endswith(".json") or path.name.endswith(".json.gz"):
+                    yield path
+
+    def keys(self) -> List[str]:
+        """Keys of every (readable-looking) record in the store."""
+        return [_key_of(path) for path in self._record_paths()]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._record_paths())
+
+    def records(self) -> Iterator[Dict[str, Any]]:
+        """Iterate every readable record dict, silently skipping corrupt ones.
+
+        Each yielded record additionally carries ``"path"`` (str) and
+        ``"age_seconds"`` (float, from the file's mtime).
+        """
+        now = time.time()
+        for path in self._record_paths():
+            try:
+                record = _load_record(path)
+                age = max(0.0, now - path.stat().st_mtime)
+            except _CORRUPT_ERRORS:
+                continue
+            record["path"] = str(path)
+            record["age_seconds"] = age
+            yield record
+
+    def gc(self, older_than_seconds: float) -> int:
+        """Remove records whose file mtime is older than the cut-off.
+
+        Returns the number of records removed.  Bounds store growth:
+        ``repro store gc --older-than 30d`` keeps a rolling window.
+        Scratch files left behind by killed writers are removed too.
+        """
+        cutoff = time.time() - older_than_seconds
+        removed = 0
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return 0
+        for shard in sorted(objects.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.iterdir()):
+                try:
+                    stale = path.stat().st_mtime < cutoff
+                except OSError:
+                    continue
+                if path.name.startswith("."):
+                    # Scratch file: only ever stale, never a live record.
+                    if stale:
+                        try:
+                            path.unlink()
+                        except OSError:
+                            pass
+                    continue
+                if stale:
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
+            try:
+                shard.rmdir()  # only succeeds when emptied
+            except OSError:
+                pass
+        return removed
+
+    def export(self) -> List[Dict[str, Any]]:
+        """All records as a JSON-safe list (for ``repro store export``)."""
+        return list(self.records())
+
+
+def _key_of(path: Path) -> str:
+    name = path.name
+    for suffix in (".json.gz", ".json"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def _load_record(path: Path) -> Dict[str, Any]:
+    data = path.read_bytes()
+    if path.suffix == ".gz":
+        data = gzip.decompress(data)
+    record = json.loads(data.decode("utf-8"))
+    if not isinstance(record, dict):
+        raise ValueError(f"{path}: record is not a JSON object")
+    if record.get("version") != _RECORD_VERSION:
+        raise ValueError(f"{path}: unsupported record version")
+    return record
+
+
+def _result_from_record(record: Dict[str, Any]) -> SimulationResult:
+    fields = record["result"]
+    return SimulationResult(
+        trace_name=str(fields["trace_name"]),
+        predictor_name=str(fields["predictor_name"]),
+        conditional_branches=int(fields["conditional_branches"]),
+        mispredictions=int(fields["mispredictions"]),
+        instructions=int(fields["instructions"]),
+        storage_bits=int(fields["storage_bits"]),
+        per_pc_mispredictions={
+            int(pc): int(count)
+            for pc, count in (fields.get("per_pc_mispredictions") or {}).items()
+        },
+    )

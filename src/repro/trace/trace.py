@@ -24,6 +24,7 @@ Two on-disk formats are supported:
 
 from __future__ import annotations
 
+import hashlib
 import json
 import struct
 import sys
@@ -122,6 +123,7 @@ class Trace:
         "_gap",
         "_conditional_count",
         "_instruction_count",
+        "_fingerprint",
     )
 
     def __init__(
@@ -141,6 +143,8 @@ class Trace:
         # extend, so reading them is O(1) however often the simulator asks.
         self._conditional_count = 0
         self._instruction_count = 0
+        #: Cached content fingerprint; invalidated on every mutation.
+        self._fingerprint: str | None = None
         if records is not None:
             self.extend(records)
 
@@ -195,6 +199,7 @@ class Trace:
         if kind_code == CONDITIONAL_CODE:
             self._conditional_count += 1
         self._instruction_count += gap + 1
+        self._fingerprint = None
 
     def extend(self, records: Iterable[BranchRecord]) -> None:
         """Append several dynamic branches to the trace."""
@@ -214,6 +219,7 @@ class Trace:
         self._gap.extend(other._gap)
         self._conditional_count += other._conditional_count
         self._instruction_count += other._instruction_count
+        self._fingerprint = None
 
     # ------------------------------------------------------------------ #
     # Columnar access (used by the fast simulation loop)
@@ -245,6 +251,33 @@ class Trace:
         of preceding non-branch instructions.
         """
         return self._instruction_count
+
+    def fingerprint(self) -> str:
+        """Content fingerprint of the trace (SHA-256 hex, cached).
+
+        Covers the trace name and every column byte-for-byte (normalised to
+        little-endian), so two traces share a fingerprint exactly when they
+        would drive a predictor identically and report under the same name.
+        This is the trace component of persistent cache keys
+        (:mod:`repro.store`): a benchmark regenerated with different content
+        -- e.g. after a generator edit invalidated the
+        ``REPRO_TRACE_CACHE`` entry -- gets a new fingerprint even though
+        its benchmark name is unchanged, so stale results are never served.
+
+        The value is cached and invalidated on ``append``/``extend``;
+        rebinding ``trace.name`` after the first call is not tracked.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(self.name.encode("utf-8"))
+            for column in (self._pc, self._target, self._taken, self._kind, self._gap):
+                if _BIG_ENDIAN_HOST and column.itemsize > 1:
+                    column = array(column.typecode, column)
+                    column.byteswap()
+                digest.update(b"|")
+                digest.update(column.tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def static_branches(self) -> Dict[int, int]:
         """Map of conditional branch PC to dynamic execution count."""
