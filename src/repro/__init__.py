@@ -63,6 +63,7 @@ from repro.predictors import (
     build_named,
     configuration_names,
 )
+from repro.dist import Coordinator, DistBackend, Worker
 from repro.sim import SimulationResult, SuiteRunner, simulate
 from repro.store import ResultStore
 from repro.trace import BranchKind, BranchRecord, Trace
@@ -75,6 +76,8 @@ __all__ = [
     "BranchPredictor",
     "BranchRecord",
     "CompositeOptions",
+    "Coordinator",
+    "DistBackend",
     "Experiment",
     "GEHLPredictor",
     "IMLIOuterHistoryComponent",
@@ -91,6 +94,7 @@ __all__ = [
     "TAGEGSCPredictor",
     "TAGEPredictor",
     "Trace",
+    "Worker",
     "__version__",
     "build_named",
     "configuration_names",

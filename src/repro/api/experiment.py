@@ -228,6 +228,16 @@ class Experiment:
         written to the store, so re-running an interrupted or extended
         experiment recomputes only the missing cells (see
         ``docs/API.md``).
+    backend:
+        Execution backend: ``None`` (default -- in-process, or the local
+        process pool when ``jobs > 1``), ``"serial"`` / ``"pool"``
+        explicitly, or a :class:`~repro.dist.client.DistBackend` to run
+        the experiment's cells on a cluster via a ``repro serve``
+        coordinator (see ``docs/DISTRIBUTED.md``).  All backends are
+        bit-identical.
+    progress:
+        Optional ``(done, total)`` callable invoked per completed cell
+        (e.g. a :class:`~repro.common.progress.ProgressPrinter`).
     """
 
     def __init__(
@@ -242,6 +252,8 @@ class Experiment:
         jobs: int = 1,
         registry: Optional[Registry] = None,
         store: Union["ResultStore", str, None, bool] = None,
+        backend: Union[str, object, None] = None,
+        progress=None,
     ) -> None:
         self.specs = [
             spec
@@ -268,6 +280,8 @@ class Experiment:
         self.jobs = jobs
         self.registry = registry
         self.store = ResultStore.resolve(store)
+        self.backend = backend
+        self.progress = progress
         self._traces = list(traces) if traces is not None else None
         self._runner: Optional[SuiteRunner] = None
 
@@ -342,6 +356,8 @@ class Experiment:
                 profile=self.profile,
                 max_workers=self.jobs if self.jobs and self.jobs > 1 else None,
                 store=self.store if self.store is not None else False,
+                backend=self.backend,
+                progress=self.progress,
             )
         return self._runner
 

@@ -22,10 +22,19 @@ The CLI exposes the library's main workflows without writing any Python:
     library's text format.
 ``python -m repro store``
     Inspect and maintain the persistent result store (``ls`` / ``gc`` /
-    ``export``).  ``simulate`` and ``sweep`` read and write the store when
-    ``--store DIR`` (or ``REPRO_RESULT_STORE``) names one, so an
-    interrupted sweep restarted with ``--resume`` recomputes only the
-    missing cells.
+    ``export`` / ``import``).  ``simulate`` and ``sweep`` read and write
+    the store when ``--store DIR`` (or ``REPRO_RESULT_STORE``) names one,
+    so an interrupted sweep restarted with ``--resume`` recomputes only
+    the missing cells.
+``python -m repro serve``
+    Start a distributed sweep coordinator: expand a sweep into store
+    cells and serve them to ``repro worker`` processes over TCP (or run
+    as an idle service accepting ``repro submit`` jobs).
+``python -m repro worker``
+    Connect to a coordinator, lease cells, simulate them (optionally over
+    a local process pool) and upload the results.
+``python -m repro submit``
+    Send a sweep to a running coordinator and wait for the results.
 """
 
 from __future__ import annotations
@@ -33,14 +42,17 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import shlex
 import sys
+import time
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.experiments import experiment_ids, run_experiment
-from repro.api.experiment import Experiment
+from repro.api.experiment import Experiment, ResultSet
 from repro.api.registry import default_registry
 from repro.api.specs import PredictorSpec
-from repro.sim.runner import SuiteRunner
+from repro.common.progress import ProgressPrinter
+from repro.sim.runner import ConfigurationRun, SuiteRunner
 from repro.store import ResultStore
 from repro.trace.trace import save_trace, save_trace_binary
 from repro.workloads.suites import (
@@ -50,6 +62,9 @@ from repro.workloads.suites import (
     get_benchmark,
     suite_names,
 )
+
+#: Default TCP port of ``repro serve`` (workers and submitters default to it).
+DEFAULT_PORT = 4780
 
 __all__ = ["build_parser", "main"]
 
@@ -82,12 +97,56 @@ def _add_workload_arguments(parser: argparse.ArgumentParser, length: int) -> Non
              "cells are reused and new ones persisted "
              "(default: $REPRO_RESULT_STORE when set)",
     )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print per-cell completion (done/total, cells/s, ETA) on stderr",
+    )
 
 
 def _add_store_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--store", default=None, metavar="DIR",
         help="result store directory (default: $REPRO_RESULT_STORE)",
+    )
+
+
+def _add_grid_arguments(
+    parser: argparse.ArgumentParser, require_base: bool = True
+) -> None:
+    """``--base`` / ``--param``: the sweep grid (shared by sweep/serve/submit)."""
+    parser.add_argument(
+        "--base", required=require_base, default=None,
+        help="configuration name (or spec JSON file) the grid is applied to",
+    )
+    parser.add_argument(
+        "--param", action="append", default=[], metavar="NAME=V1,V2,...",
+        help="one grid axis: an override name and its comma-separated values "
+             "(repeatable; values are parsed as JSON, falling back to strings)",
+    )
+
+
+def _add_suite_arguments(parser: argparse.ArgumentParser, length: int = 2500) -> None:
+    """Workload selection without execution options (serve/submit)."""
+    parser.add_argument("--suite", default="cbp4like", choices=suite_names())
+    parser.add_argument(
+        "--benchmarks", default=None,
+        help="comma-separated benchmark names (default: the whole suite)",
+    )
+    parser.add_argument("--length", type=int, default=length,
+                        help="conditional branches per benchmark trace")
+    parser.add_argument(
+        "--profile", default="small", choices=default_registry().profile_names(),
+    )
+
+
+def _add_export_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json", dest="json_output", default=None, metavar="FILE",
+        help="write the full result set as JSON to FILE ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--csv", dest="csv_output", default=None, metavar="FILE",
+        help="write the MPKI table as CSV to FILE ('-' for stdout)",
     )
 
 
@@ -121,23 +180,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = subparsers.add_parser(
         "sweep", help="expand a parameter grid into predictor specs and run them"
     )
-    sweep.add_argument(
-        "--base", required=True,
-        help="configuration name (or spec JSON file) the grid is applied to",
-    )
-    sweep.add_argument(
-        "--param", action="append", default=[], metavar="NAME=V1,V2,...",
-        help="one grid axis: an override name and its comma-separated values "
-             "(repeatable; values are parsed as JSON, falling back to strings)",
-    )
-    sweep.add_argument(
-        "--json", dest="json_output", default=None, metavar="FILE",
-        help="write the full result set as JSON to FILE ('-' for stdout)",
-    )
-    sweep.add_argument(
-        "--csv", dest="csv_output", default=None, metavar="FILE",
-        help="write the MPKI table as CSV to FILE ('-' for stdout)",
-    )
+    _add_grid_arguments(sweep)
+    _add_export_arguments(sweep)
     sweep.add_argument(
         "--resume", action="store_true",
         help="require a persistent result store (--store or "
@@ -147,6 +191,64 @@ def build_parser() -> argparse.ArgumentParser:
              "not an error",
     )
     _add_workload_arguments(sweep, length=2500)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="start a distributed sweep coordinator for repro worker processes",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="listen address (default: 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=DEFAULT_PORT,
+        help=f"listen port (default: {DEFAULT_PORT}; 0 picks a free port, "
+             "printed on stderr)",
+    )
+    serve.add_argument(
+        "--lease-timeout", type=float, default=120.0, metavar="SECONDS",
+        help="requeue a leased cell when no result arrives within this time "
+             "(default: 120)",
+    )
+    _add_grid_arguments(serve, require_base=False)
+    _add_suite_arguments(serve)
+    _add_export_arguments(serve)
+    _add_store_argument(serve)
+    serve.add_argument(
+        "--progress", action="store_true",
+        help="print per-cell completion (done/total, cells/s, ETA) on stderr",
+    )
+
+    worker = subparsers.add_parser(
+        "worker", help="lease sweep cells from a coordinator and simulate them"
+    )
+    worker.add_argument(
+        "--connect", default=f"127.0.0.1:{DEFAULT_PORT}", metavar="HOST:PORT",
+        help=f"coordinator address (default: 127.0.0.1:{DEFAULT_PORT})",
+    )
+    worker.add_argument(
+        "--jobs", "-j", type=_positive_int, default=1,
+        help="concurrent simulations on this worker (default: 1, in-process)",
+    )
+    worker.add_argument("--name", default=None, help="worker name in coordinator logs")
+    worker.add_argument(
+        "--connect-retry", type=float, default=10.0, metavar="SECONDS",
+        help="keep retrying the initial connect for this long (default: 10)",
+    )
+    _add_store_argument(worker)
+
+    submit = subparsers.add_parser(
+        "submit", help="send a sweep to a running coordinator and await results"
+    )
+    submit.add_argument(
+        "--connect", default=f"127.0.0.1:{DEFAULT_PORT}", metavar="HOST:PORT",
+        help=f"coordinator address (default: 127.0.0.1:{DEFAULT_PORT})",
+    )
+    _add_grid_arguments(submit)
+    _add_suite_arguments(submit)
+    _add_export_arguments(submit)
+    submit.add_argument(
+        "--progress", action="store_true",
+        help="print per-cell completion (done/total, cells/s, ETA) on stderr",
+    )
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's tables or figures"
@@ -170,6 +272,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     store_sub = store.add_subparsers(dest="store_command", required=True)
     store_ls = store_sub.add_parser("ls", help="list the stored result cells")
+    store_ls.add_argument(
+        "--json", dest="json_output", action="store_true",
+        help="machine-readable output: one JSON array of cell summaries",
+    )
     _add_store_argument(store_ls)
     store_gc = store_sub.add_parser(
         "gc", help="delete stored cells older than a cut-off"
@@ -187,6 +293,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="destination file ('-' for stdout, the default)",
     )
     _add_store_argument(store_export)
+    store_import = store_sub.add_parser(
+        "import", help="ingest records produced by 'store export' (merge stores)"
+    )
+    store_import.add_argument(
+        "input", nargs="?", default="-", metavar="FILE",
+        help="JSON document to ingest ('-' for stdin, the default)",
+    )
+    _add_store_argument(store_import)
 
     trace = subparsers.add_parser("trace", help="generate one benchmark trace to a file")
     trace.add_argument("--suite", default="cbp4like", choices=suite_names())
@@ -352,6 +466,7 @@ def _command_simulate(args: argparse.Namespace) -> int:
             profile=args.profile,
             jobs=args.jobs,
             store=store if store is not None else False,
+            progress=ProgressPrinter("simulate") if args.progress else None,
         )
         results = experiment.run()
     except (KeyError, TypeError, ValueError) as error:
@@ -364,6 +479,58 @@ def _command_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _expand_grid_specs(args: argparse.Namespace) -> tuple:
+    """``(base_spec, specs)`` of a sweep grid (shared by sweep/serve/submit).
+
+    Raises ``ValueError`` (with a printable message) on bad input.
+    """
+    if args.base.endswith(".json"):
+        try:
+            loaded = _load_spec_file(args.base)
+        except (OSError, ValueError, TypeError) as error:
+            raise ValueError(
+                f"cannot load base spec from {args.base}: {error}"
+            ) from None
+        if len(loaded) != 1:
+            raise ValueError(f"{args.base}: --base needs exactly one spec")
+        base_spec = loaded[0]
+    else:
+        base_spec = PredictorSpec.from_named(args.base, profile=args.profile)
+    grid: Dict[str, List[Any]] = {}
+    for raw in args.param:
+        name, values = _parse_param(raw)
+        grid[name] = values
+    # Dedupe semantically: a grid point that rebuilds the base
+    # predictor (identical content, or an override equal to the
+    # field's default, e.g. oh_update_delay=0) must not be simulated
+    # and reported twice under a second label.
+    base_canonical = _canonical_spec(base_spec)
+    specs = [base_spec]
+    for spec in base_spec.sweep(**grid):
+        if _canonical_spec(spec) != base_canonical:
+            specs.append(spec)
+    return base_spec, specs
+
+
+def _resume_command(args: argparse.Namespace, store: ResultStore) -> str:
+    """The exact ``repro sweep --resume`` line that continues this sweep."""
+    parts = ["repro", "sweep", "--base", args.base]
+    for raw in args.param:
+        parts += ["--param", raw]
+    parts += ["--suite", args.suite]
+    if args.benchmarks:
+        parts += ["--benchmarks", args.benchmarks]
+    parts += ["--length", str(args.length), "--profile", args.profile]
+    if args.jobs and args.jobs > 1:
+        parts += ["--jobs", str(args.jobs)]
+    parts += ["--store", str(store.root), "--resume"]
+    if args.json_output:
+        parts += ["--json", args.json_output]
+    if args.csv_output:
+        parts += ["--csv", args.csv_output]
+    return " ".join(shlex.quote(part) for part in parts)
+
+
 def _command_sweep(args: argparse.Namespace) -> int:
     store = _resolve_store(args.store)
     if args.resume and store is None:
@@ -373,36 +540,9 @@ def _command_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.base.endswith(".json"):
-        try:
-            loaded = _load_spec_file(args.base)
-        except (OSError, ValueError, TypeError) as error:
-            print(f"cannot load base spec from {args.base}: {error}", file=sys.stderr)
-            return 2
-        if len(loaded) != 1:
-            print(f"{args.base}: --base needs exactly one spec", file=sys.stderr)
-            return 2
-        base_spec = loaded[0]
-    else:
-        base_spec = PredictorSpec.from_named(args.base, profile=args.profile)
-    grid: Dict[str, List[Any]] = {}
+    experiment: Optional[Experiment] = None
     try:
-        for raw in args.param:
-            name, values = _parse_param(raw)
-            grid[name] = values
-    except ValueError as error:
-        print(_error_message(error), file=sys.stderr)
-        return 2
-    try:
-        # Dedupe semantically: a grid point that rebuilds the base
-        # predictor (identical content, or an override equal to the
-        # field's default, e.g. oh_update_delay=0) must not be simulated
-        # and reported twice under a second label.
-        base_canonical = _canonical_spec(base_spec)
-        specs = [base_spec]
-        for spec in base_spec.sweep(**grid):
-            if _canonical_spec(spec) != base_canonical:
-                specs.append(spec)
+        base_spec, specs = _expand_grid_specs(args)
         experiment = Experiment(
             specs,
             suite=args.suite,
@@ -411,11 +551,30 @@ def _command_sweep(args: argparse.Namespace) -> int:
             profile=args.profile,
             jobs=args.jobs,
             store=store if store is not None else False,
+            progress=ProgressPrinter("sweep") if args.progress else None,
         )
         results = experiment.run(baseline=base_spec)
     except (KeyError, TypeError, ValueError) as error:
         print(_error_message(error), file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # Completed cells were flushed to the store as they finished;
+        # hand the user the exact command that picks the sweep back up.
+        if experiment is not None:
+            experiment.close()
+        print("\nsweep interrupted.", file=sys.stderr)
+        if store is not None:
+            _report_store_use(store)
+            print("resume with:", file=sys.stderr)
+            print(f"  {_resume_command(args, store)}", file=sys.stderr)
+        else:
+            print(
+                "no result store was configured, so completed cells were "
+                "not preserved; rerun with --store DIR (or set "
+                "REPRO_RESULT_STORE) to make sweeps resumable",
+                file=sys.stderr,
+            )
+        return 130
     print(results.report(
         title=f"Sweep over {base_spec.label} on {args.suite} "
               f"({len(specs)} specs, {args.length} branches per benchmark)"
@@ -425,6 +584,196 @@ def _command_sweep(args: argparse.Namespace) -> int:
     if args.csv_output:
         _write_output(results.to_csv(), args.csv_output)
     _report_store_use(store)
+    return 0
+
+
+def _log_stderr(message: str) -> None:
+    print(message, file=sys.stderr)
+
+
+def _suite_traces(args: argparse.Namespace) -> list:
+    traces = generate_suite(
+        args.suite,
+        target_conditional_branches=args.length,
+        benchmarks=_split(args.benchmarks),
+    )
+    if not traces:
+        raise ValueError(
+            f"suite {args.suite!r} produced no traces for "
+            f"benchmarks {args.benchmarks!r}"
+        )
+    return traces
+
+
+def _sweep_result_set(
+    specs: Sequence[PredictorSpec],
+    base_spec: PredictorSpec,
+    trace_names: Sequence[str],
+    runs: Dict[str, "ConfigurationRun"],
+) -> ResultSet:
+    """Assemble the same :class:`ResultSet` a local ``repro sweep`` builds."""
+    return ResultSet(
+        specs=list(specs),
+        runs={spec.label: runs[spec.label] for spec in specs},
+        trace_names=list(trace_names),
+        baseline=base_spec.label,
+    )
+
+
+def _print_sweep_results(
+    args: argparse.Namespace, results: ResultSet, specs: Sequence[PredictorSpec]
+) -> None:
+    print(results.report(
+        title=f"Sweep over {results.baseline} on {args.suite} "
+              f"({len(specs)} specs, {args.length} branches per benchmark)"
+    ))
+    if args.json_output:
+        _write_output(results.to_json(), args.json_output)
+    if args.csv_output:
+        _write_output(results.to_csv(), args.csv_output)
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.dist import Coordinator, JobFailed
+
+    store = _resolve_store(args.store)
+    if args.base is None and args.param:
+        print("--param needs --base", file=sys.stderr)
+        return 2
+    try:
+        coordinator = Coordinator(
+            host=args.host,
+            port=args.port,
+            store=store if store is not None else False,
+            lease_timeout=args.lease_timeout,
+            progress=ProgressPrinter("serve") if args.progress else None,
+            log=_log_stderr,
+        )
+    except ValueError as error:
+        print(_error_message(error), file=sys.stderr)
+        return 2
+    try:
+        coordinator.start()
+    except OSError as error:
+        print(f"cannot listen on {args.host}:{args.port}: {error}", file=sys.stderr)
+        return 2
+    try:
+        if args.base is None:
+            # Idle service: accept `repro submit` jobs until Ctrl-C.
+            print(
+                "serving submitted sweeps; stop with Ctrl-C", file=sys.stderr
+            )
+            try:
+                while True:
+                    time.sleep(1.0)
+            except KeyboardInterrupt:
+                print("\ncoordinator stopped.", file=sys.stderr)
+            return 0
+        try:
+            base_spec, specs = _expand_grid_specs(args)
+            traces = _suite_traces(args)
+            job = coordinator.submit(specs, traces)
+        except (KeyError, TypeError, ValueError) as error:
+            print(_error_message(error), file=sys.stderr)
+            return 2
+        print(
+            f"sweep job {job.job_id}: {job.total} cell(s); waiting for workers "
+            f"(repro worker --connect {args.host}:{coordinator.address[1]})",
+            file=sys.stderr,
+        )
+        try:
+            while not job.wait(timeout=0.5):
+                pass
+        except KeyboardInterrupt:
+            print("\nserve interrupted.", file=sys.stderr)
+            if store is not None:
+                print(
+                    "completed cells are in the store; rerun the same "
+                    "`repro serve` command to resume from them",
+                    file=sys.stderr,
+                )
+            return 130
+        try:
+            runs = job.runs()
+        except JobFailed as error:
+            print(f"sweep failed: {error}", file=sys.stderr)
+            return 1
+        results = _sweep_result_set(specs, base_spec, job.trace_names, runs)
+        _print_sweep_results(args, results, specs)
+        _report_store_use(store)
+        return 0
+    finally:
+        coordinator.shutdown()
+
+
+def _command_worker(args: argparse.Namespace) -> int:
+    from repro.dist import ProtocolError, run_worker
+
+    store = _resolve_store(args.store)
+    try:
+        completed = run_worker(
+            args.connect,
+            jobs=args.jobs,
+            store=store if store is not None else False,
+            name=args.name,
+            connect_retry=args.connect_retry,
+            log=_log_stderr,
+        )
+    except KeyboardInterrupt:
+        print("\nworker stopped; leased cells will be requeued.", file=sys.stderr)
+        return 130
+    except (OSError, ProtocolError, ValueError) as error:
+        print(f"worker failed: {_error_message(error)}", file=sys.stderr)
+        return 1
+    print(f"completed {completed} cell(s)", file=sys.stderr)
+    return 0
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    from repro.dist import ProtocolError, submit_sweep
+
+    try:
+        base_spec, specs = _expand_grid_specs(args)
+        traces = _suite_traces(args)
+    except (KeyError, TypeError, ValueError) as error:
+        print(_error_message(error), file=sys.stderr)
+        return 2
+    try:
+        cell_results = submit_sweep(
+            args.connect,
+            specs,
+            traces,
+            progress=ProgressPrinter("submit") if args.progress else None,
+        )
+    except KeyboardInterrupt:
+        print(
+            "\nsubmit interrupted; the job keeps running on the coordinator.",
+            file=sys.stderr,
+        )
+        return 130
+    except (OSError, ProtocolError, RuntimeError, ValueError) as error:
+        print(f"submit failed: {_error_message(error)}", file=sys.stderr)
+        return 1
+    try:
+        runs = {
+            spec.label: ConfigurationRun(
+                configuration=spec.label,
+                results=[
+                    cell_results[(spec.label, index)] for index in range(len(traces))
+                ],
+            )
+            for spec in specs
+        }
+    except KeyError as error:
+        print(
+            f"coordinator returned an incomplete job (missing cell {error})",
+            file=sys.stderr,
+        )
+        return 1
+    results = _sweep_result_set(
+        specs, base_spec, [trace.name for trace in traces], runs
+    )
+    _print_sweep_results(args, results, specs)
     return 0
 
 
@@ -456,24 +805,47 @@ def _command_store(args: argparse.Namespace) -> int:
         )
         return 2
     if args.store_command == "ls":
-        count = 0
+        entries = []
         for record in store.records():
             result = record.get("result", {})
             instructions = int(result.get("instructions", 0))
-            if instructions > 0:
-                mpki = 1000.0 * int(result.get("mispredictions", 0)) / instructions
-                mpki_text = f"{mpki:8.3f}"
-            else:
-                mpki_text = "     n/a"
-            age = record.get("age_seconds", 0.0)
-            print(
-                f"{record.get('key', '?')[:12]}  "
-                f"{result.get('predictor_name', '?'):<32} "
-                f"{result.get('trace_name', '?'):<12} "
-                f"mpki={mpki_text}  age={_format_age(age)}"
+            mpki = (
+                1000.0 * int(result.get("mispredictions", 0)) / instructions
+                if instructions > 0
+                else None
             )
-            count += 1
-        print(f"{count} record(s) in {store.root}", file=sys.stderr)
+            entries.append(
+                {
+                    "key": record.get("key"),
+                    "label": record.get("label"),
+                    "predictor_name": result.get("predictor_name"),
+                    "trace_name": result.get("trace_name"),
+                    "trace_fingerprint": record.get("trace_fingerprint"),
+                    "mpki": mpki,
+                    "mispredictions": result.get("mispredictions"),
+                    "conditional_branches": result.get("conditional_branches"),
+                    "instructions": result.get("instructions"),
+                    "storage_bits": result.get("storage_bits"),
+                    "age_seconds": record.get("age_seconds", 0.0),
+                    "path": record.get("path"),
+                }
+            )
+        if args.json_output:
+            # Machine-readable: the coordinator smoke job and CI use this
+            # to verify store contents without scraping the table.
+            print(json.dumps(entries, indent=2))
+            return 0
+        for entry in entries:
+            mpki_text = (
+                f"{entry['mpki']:8.3f}" if entry["mpki"] is not None else "     n/a"
+            )
+            print(
+                f"{(entry['key'] or '?')[:12]}  "
+                f"{entry['predictor_name'] or '?':<32} "
+                f"{entry['trace_name'] or '?':<12} "
+                f"mpki={mpki_text}  age={_format_age(entry['age_seconds'])}"
+            )
+        print(f"{len(entries)} record(s) in {store.root}", file=sys.stderr)
         return 0
     if args.store_command == "gc":
         try:
@@ -491,6 +863,37 @@ def _command_store(args: argparse.Namespace) -> int:
     if args.store_command == "export":
         _write_output(json.dumps(store.export(), indent=2), args.output)
         return 0
+    if args.store_command == "import":
+        try:
+            if args.input == "-":
+                data = json.load(sys.stdin)
+            else:
+                with open(args.input, "r", encoding="utf-8") as handle:
+                    data = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"cannot read records from {args.input}: {error}", file=sys.stderr)
+            return 2
+        if isinstance(data, dict):
+            data = [data]
+        if not isinstance(data, list):
+            print(
+                f"{args.input}: expected a record object or a list of records",
+                file=sys.stderr,
+            )
+            return 2
+        imported = skipped = 0
+        for record in data:
+            try:
+                store.import_record(record)
+                imported += 1
+            except (ValueError, OSError):
+                skipped += 1
+        print(
+            f"imported {imported} record(s) into {store.root}"
+            + (f", skipped {skipped} malformed" if skipped else ""),
+            file=sys.stderr,
+        )
+        return 0 if not skipped else 1
     raise AssertionError(
         f"unhandled store command {args.store_command!r}"
     )  # pragma: no cover
@@ -528,6 +931,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_simulate(args)
     if args.command == "sweep":
         return _command_sweep(args)
+    if args.command == "serve":
+        return _command_serve(args)
+    if args.command == "worker":
+        return _command_worker(args)
+    if args.command == "submit":
+        return _command_submit(args)
     if args.command == "experiment":
         return _command_experiment(args)
     if args.command == "store":

@@ -1,0 +1,84 @@
+"""Shared live progress display for long cell-based runs.
+
+Sweeps, ``repro simulate --progress`` and the distributed coordinator all
+execute grids of ``(spec, trace)`` cells; :class:`ProgressPrinter` gives
+them one stderr display: completed/total cells, throughput and an ETA,
+rate-limited so tight loops do not flood the terminal.
+
+The printer is a plain callable ``(done, total)`` so it plugs directly
+into :class:`repro.sim.runner.SuiteRunner`'s ``progress`` hook and the
+coordinator's per-cell completion callback.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+__all__ = ["ProgressPrinter"]
+
+
+class ProgressPrinter:
+    """Prints ``done/total`` cell progress with throughput and ETA.
+
+    Parameters
+    ----------
+    label:
+        Prefix of every progress line (e.g. ``"sweep"`` or ``"serve"``).
+    stream:
+        Destination (default ``sys.stderr`` -- resolved at print time so
+        pytest's capture sees it).
+    min_interval:
+        Seconds between printed updates; completions arriving faster are
+        coalesced.  The first and the final update always print.
+    """
+
+    def __init__(
+        self,
+        label: str = "progress",
+        stream: Optional[TextIO] = None,
+        min_interval: float = 0.5,
+    ) -> None:
+        self.label = label
+        self.stream = stream
+        self.min_interval = float(min_interval)
+        self._started: Optional[float] = None
+        self._last_printed: float = 0.0
+        self._last_done: int = -1
+
+    def __call__(self, done: int, total: int) -> None:
+        now = time.monotonic()
+        if self._started is None:
+            self._started = now
+        if (
+            done == self._last_done
+            or (done < total and now - self._last_printed < self.min_interval)
+        ):
+            return
+        self._last_printed = now
+        self._last_done = done
+        elapsed = max(now - self._started, 1e-9)
+        rate = done / elapsed
+        if 0 < done < total and rate > 0:
+            eta = f"ETA {self._format_seconds((total - done) / rate)}"
+        elif done >= total:
+            eta = f"took {self._format_seconds(elapsed)}"
+        else:
+            eta = "ETA n/a"
+        percent = 100.0 * done / total if total else 100.0
+        stream = self.stream if self.stream is not None else sys.stderr
+        print(
+            f"{self.label}: {done}/{total} cells ({percent:.0f}%), "
+            f"{rate:.1f} cells/s, {eta}",
+            file=stream,
+        )
+        stream.flush()
+
+    @staticmethod
+    def _format_seconds(seconds: float) -> str:
+        if seconds >= 3600:
+            return f"{seconds / 3600:.1f}h"
+        if seconds >= 60:
+            return f"{seconds / 60:.1f}m"
+        return f"{seconds:.1f}s"

@@ -1,0 +1,199 @@
+"""Client side of the distributed sweep service.
+
+Two entry points:
+
+* :func:`submit_sweep` -- upload a whole sweep (specs x traces) to a
+  running coordinator, stream its progress, and return the per-cell
+  results.  ``repro submit`` is a thin wrapper.
+* :class:`DistBackend` -- the pluggable execution backend
+  :class:`~repro.sim.runner.SuiteRunner` and
+  :class:`~repro.api.experiment.Experiment` accept (``backend=``): the
+  runner's batch of missing cells is submitted instead of being fanned
+  over the local process pool, so ``Experiment(...,
+  backend=DistBackend("host:4780"))`` transparently runs on the cluster
+  and stays bit-identical to a serial run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.api.specs import PredictorSpec
+from repro.dist import protocol
+from repro.dist.protocol import ProtocolError
+from repro.predictors.composites import SizeProfile
+from repro.sim.engine import SimulationResult
+from repro.store import result_from_dict
+from repro.trace.trace import Trace
+
+__all__ = ["DistBackend", "submit_sweep", "parse_address"]
+
+#: Results keyed by ``(label, trace index)``.
+CellResults = Dict[Tuple[str, int], SimulationResult]
+
+
+def parse_address(address: Union[str, Tuple[str, int]]) -> Tuple[str, int]:
+    """Coerce ``"host:port"`` (or a ready tuple) into ``(host, port)``."""
+    if isinstance(address, tuple):
+        host, port = address
+        return str(host), int(port)
+    host, _, port_text = str(address).rpartition(":")
+    if not host or not port_text.isdigit():
+        raise ValueError(f"coordinator address needs HOST:PORT, got {address!r}")
+    return host, int(port_text)
+
+
+def submit_cells(
+    address: Union[str, Tuple[str, int]],
+    entries: Sequence[Dict[str, Any]],
+    traces: Sequence[Trace],
+    track_per_pc: bool = False,
+    cells: Optional[Sequence[Tuple[str, int]]] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+    timeout: Optional[float] = None,
+) -> CellResults:
+    """Low-level submit: pre-resolved spec entries, explicit traces.
+
+    ``entries`` are ``{"label", "spec", "profile"}`` dicts exactly as the
+    protocol defines them; ``cells`` optionally restricts the job to a
+    subset of ``(label, trace index)`` pairs.  Blocks until the job
+    settles; raises ``RuntimeError`` when the coordinator reports a
+    failure and :class:`ProtocolError` on wire trouble.
+    """
+    host, port = parse_address(address)
+    frame: Dict[str, Any] = {
+        "type": "submit",
+        "protocol": protocol.PROTOCOL_VERSION,
+        "track_per_pc": bool(track_per_pc),
+        "specs": list(entries),
+        "traces": [protocol.encode_trace(trace) for trace in traces],
+    }
+    if cells is not None:
+        frame["cells"] = [[label, index] for label, index in cells]
+    sock = protocol.connect(host, port, timeout=timeout)
+    rfile = sock.makefile("rb")
+    wfile = sock.makefile("wb")
+    try:
+        protocol.write_frame(wfile, frame)
+        accepted = protocol.expect(protocol.read_frame(rfile), "accepted")
+        total = int(accepted.get("total", 0))
+        if progress is not None:
+            progress(int(accepted.get("done", 0)), total)
+        while True:
+            reply = protocol.expect(
+                protocol.read_frame(rfile), "progress", "job_done"
+            )
+            if reply["type"] == "progress":
+                if progress is not None:
+                    progress(int(reply.get("done", 0)), total)
+                continue
+            if "error" in reply:
+                raise RuntimeError(f"distributed sweep failed: {reply['error']}")
+            if progress is not None:
+                progress(int(reply.get("done", 0)), total)
+            results: CellResults = {}
+            for cell in reply.get("cells", []):
+                try:
+                    key = (str(cell["label"]), int(cell["index"]))
+                    results[key] = result_from_dict(cell["result"])
+                except (KeyError, TypeError, ValueError) as error:
+                    raise ProtocolError(f"malformed job_done cell: {error}") from None
+            return results
+    finally:
+        for stream in (wfile, rfile):
+            try:
+                stream.close()
+            except OSError:
+                pass
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def submit_sweep(
+    address: Union[str, Tuple[str, int]],
+    specs: Sequence[PredictorSpec],
+    traces: Sequence[Trace],
+    track_per_pc: bool = False,
+    registry=None,
+    progress: Optional[Callable[[int, int], None]] = None,
+    timeout: Optional[float] = None,
+) -> CellResults:
+    """Submit a sweep of :class:`PredictorSpec` over ``traces``.
+
+    Specs are resolved locally (against ``registry``), so the caller's
+    registrations -- custom configurations and size profiles -- travel to
+    the coordinator as self-contained payloads.
+    """
+    if registry is None:
+        from repro.api.registry import default_registry
+
+        registry = default_registry()
+    entries = []
+    for spec in specs:
+        resolved = spec.resolve(registry)
+        sizes = registry.resolve_profile(resolved.profile)
+        entries.append(
+            {
+                "label": spec.label,
+                "spec": resolved.to_dict(),
+                "profile": protocol.profile_to_payload(sizes),
+            }
+        )
+    return submit_cells(
+        address, entries, traces,
+        track_per_pc=track_per_pc, progress=progress, timeout=timeout,
+    )
+
+
+class DistBackend:
+    """Execution backend that dispatches runner batches to a coordinator.
+
+    Use it anywhere the local pool would run::
+
+        backend = DistBackend("127.0.0.1:4780")
+        Experiment(specs, ..., backend=backend).run()
+
+    The runner hands over its already-resolved specs, profiles and the
+    exact set of missing cells; results come back per cell and are merged
+    (and persisted to a configured store) exactly like pool results, so
+    distributed runs are bit-identical to serial ones.
+    """
+
+    name = "dist"
+
+    def __init__(
+        self,
+        address: Union[str, Tuple[str, int]],
+        timeout: Optional[float] = None,
+    ) -> None:
+        self.address = parse_address(address)
+        self.timeout = timeout
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DistBackend({self.address[0]}:{self.address[1]})"
+
+    def execute(
+        self,
+        specs: Mapping[str, PredictorSpec],
+        sizes: Mapping[str, SizeProfile],
+        traces: Sequence[Trace],
+        pending: Sequence[Tuple[str, int]],
+        track_per_pc: bool = False,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> CellResults:
+        """Run ``pending`` ``(label, trace index)`` cells remotely."""
+        entries = [
+            {
+                "label": label,
+                "spec": spec.to_dict(),
+                "profile": protocol.profile_to_payload(sizes[label]),
+            }
+            for label, spec in specs.items()
+        ]
+        return submit_cells(
+            self.address, entries, traces,
+            track_per_pc=track_per_pc, cells=pending,
+            progress=progress, timeout=self.timeout,
+        )

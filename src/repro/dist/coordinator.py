@@ -1,0 +1,775 @@
+"""The sweep coordinator: expands sweeps into cells and serves them to workers.
+
+The coordinator owns the **scheduler state** of one or more sweep jobs: a
+queue of pending ``(spec, trace)`` cells, the set of currently leased
+cells, and the per-job result slots.  Workers connect over TCP
+(:mod:`repro.dist.protocol`), lease cells one at a time, and upload one
+:class:`~repro.sim.engine.SimulationResult` per cell; submitters connect
+the same way, upload a whole sweep, and stream progress until the job is
+done.
+
+Fault tolerance is lease-based: a leased cell that neither completes nor
+renews within ``lease_timeout`` seconds goes back to the front of the
+queue, and all cells leased by a connection are requeued the moment that
+connection dies.  A cell may therefore be simulated twice in rare races
+-- results are deterministic, the first upload wins, and later duplicates
+are acknowledged but ignored, so nothing is lost and nothing is counted
+twice.
+
+With a :class:`~repro.store.ResultStore` attached, cells already present
+in the store are completed without ever being leased (checked at admit
+time *and* again at lease time, so concurrent writers sharing the store
+are honoured), and every uploaded result is persisted -- a killed
+distributed sweep resumes exactly like ``repro sweep --resume``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.api.specs import PredictorSpec
+from repro.dist import protocol
+from repro.dist.protocol import ProtocolError
+from repro.predictors.composites import CompositeOptions
+from repro.sim.engine import SimulationResult
+from repro.sim.runner import ConfigurationRun
+from repro.store import ResultStore, profile_content, result_from_dict, result_to_dict
+from repro.trace.trace import Trace
+
+__all__ = ["Coordinator", "SweepJob", "JobFailed"]
+
+
+class JobFailed(RuntimeError):
+    """A sweep job cannot complete (e.g. a cell's spec does not build)."""
+
+
+@dataclass
+class _Cell:
+    """One schedulable ``(spec, trace)`` unit of work."""
+
+    cell_id: int
+    job: "SweepJob"
+    label: str
+    index: int
+    spec_dict: Dict[str, Any]
+    profile_payload: Dict[str, Any]
+    trace_fingerprint: str
+    trace_name: str
+    store_key: Optional[str]
+
+    def work_item(self) -> Dict[str, Any]:
+        """The ``work`` frame payload workers receive."""
+        return {
+            "cell": self.cell_id,
+            "label": self.label,
+            "spec": self.spec_dict,
+            "profile": self.profile_payload,
+            "trace": self.trace_fingerprint,
+            "trace_name": self.trace_name,
+            "track_per_pc": self.job.track_per_pc,
+            "store_key": self.store_key,
+        }
+
+
+@dataclass
+class SweepJob:
+    """One submitted sweep: its cells, result slots and completion state."""
+
+    job_id: int
+    labels: List[str]
+    trace_names: List[str]
+    track_per_pc: bool
+    total: int = 0
+    done: int = 0
+    error: Optional[str] = None
+    #: ``slots[label][index]`` is the cell's result once completed.
+    slots: Dict[str, List[Optional[SimulationResult]]] = field(default_factory=dict)
+    _event: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    @property
+    def finished(self) -> bool:
+        """Whether the job is settled (all cells done, or failed)."""
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job settles; ``False`` on timeout."""
+        return self._event.wait(timeout)
+
+    def completed_cells(self) -> List[Tuple[str, int, SimulationResult]]:
+        """Every completed ``(label, trace index, result)`` cell."""
+        return [
+            (label, index, result)
+            for label in self.labels
+            for index, result in enumerate(self.slots[label])
+            if result is not None
+        ]
+
+    def runs(self) -> Dict[str, ConfigurationRun]:
+        """Per-label :class:`ConfigurationRun`, in submission order.
+
+        Only meaningful for settled, fully populated jobs; raises
+        :class:`JobFailed` when the job failed or cells are missing.
+        """
+        if self.error is not None:
+            raise JobFailed(self.error)
+        runs: Dict[str, ConfigurationRun] = {}
+        for label in self.labels:
+            results = self.slots[label]
+            if any(result is None for result in results):
+                raise JobFailed(
+                    f"job {self.job_id} is incomplete ({self.done}/{self.total} cells)"
+                )
+            runs[label] = ConfigurationRun(configuration=label, results=list(results))
+        return runs
+
+
+#: A lease: (owner connection id, expiry deadline in monotonic seconds).
+_Lease = Tuple[int, float]
+
+
+class Coordinator:
+    """Serves sweep cells to workers over line-delimited JSON TCP.
+
+    Parameters
+    ----------
+    host / port:
+        Listen address; port 0 binds an ephemeral port (see
+        :attr:`address` after :meth:`start`).
+    store:
+        Optional shared :class:`ResultStore`: already-present cells are
+        never dispatched, uploaded results are persisted.
+    lease_timeout:
+        Seconds a leased cell may stay unfinished before it is requeued
+        for another worker.
+    progress:
+        Optional ``(done, total)`` callable, invoked per completed cell
+        of every job (e.g. a
+        :class:`~repro.common.progress.ProgressPrinter`).
+    log:
+        Optional ``(message: str)`` callable for lifecycle events
+        (connections, requeues, job completion).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        store: Union[ResultStore, str, None, bool] = False,
+        lease_timeout: float = 120.0,
+        progress: Optional[Callable[[int, int], None]] = None,
+        log: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if lease_timeout <= 0:
+            raise ValueError(f"lease_timeout must be positive, got {lease_timeout}")
+        self._host = host
+        self._port = port
+        self.store = ResultStore.resolve(store)
+        self.lease_timeout = float(lease_timeout)
+        self.progress = progress
+        self.log = log or (lambda message: None)
+
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._cells: Dict[int, _Cell] = {}
+        self._pending: deque = deque()  # cell ids, FIFO across jobs
+        self._leases: Dict[int, _Lease] = {}
+        self._jobs: Dict[int, SweepJob] = {}
+        self._traces: Dict[str, str] = {}  # fingerprint -> base64 payload
+        self._cell_ids = itertools.count(1)
+        self._job_ids = itertools.count(1)
+        self._conn_ids = itertools.count(1)
+
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._conn_threads: List[threading.Thread] = []
+        self._open_sockets: Dict[int, socket.socket] = {}
+        self._stopping = threading.Event()
+
+    # ----------------------------------------------------------------- #
+    # Lifecycle
+    # ----------------------------------------------------------------- #
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (only valid after :meth:`start`)."""
+        if self._listener is None:
+            raise RuntimeError("coordinator is not started")
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> Tuple[str, int]:
+        """Bind, listen and serve in background threads; returns the address."""
+        if self._listener is not None:
+            raise RuntimeError("coordinator is already started")
+        self._listener = socket.create_server(
+            (self._host, self._port), reuse_port=False
+        )
+        self._listener.settimeout(0.2)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-dist-accept", daemon=True
+        )
+        self._accept_thread.start()
+        self.log(f"coordinator listening on {self.address[0]}:{self.address[1]}")
+        return self.address
+
+    def shutdown(self) -> None:
+        """Stop serving: close the listener and every open connection."""
+        self._stopping.set()
+        with self._cond:
+            self._cond.notify_all()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._lock:
+            sockets = list(self._open_sockets.values())
+        for sock in sockets:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+        for thread in list(self._conn_threads):
+            thread.join(timeout=5)
+
+    def __enter__(self) -> "Coordinator":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ----------------------------------------------------------------- #
+    # Job admission
+    # ----------------------------------------------------------------- #
+
+    def submit(
+        self,
+        specs: Sequence[PredictorSpec],
+        traces: Sequence[Trace],
+        track_per_pc: bool = False,
+        registry=None,
+        cells: Optional[Sequence[Tuple[str, int]]] = None,
+    ) -> SweepJob:
+        """Admit a sweep directly (in-process; ``repro serve`` and tests).
+
+        Specs are resolved against ``registry`` exactly like the local
+        runner resolves them, so store keys -- and therefore resume
+        behaviour -- match ``repro sweep --store`` byte for byte.
+        ``cells`` optionally restricts the job to a subset of
+        ``(label, trace index)`` pairs.
+        """
+        if registry is None:
+            from repro.api.registry import default_registry
+
+            registry = default_registry()
+        entries = []
+        for spec in specs:
+            resolved = spec.resolve(registry)
+            sizes = registry.resolve_profile(resolved.profile)
+            entries.append(
+                {
+                    "label": spec.label,
+                    "spec": resolved.to_dict(),
+                    "profile": protocol.profile_to_payload(sizes),
+                }
+            )
+        payloads = {trace.fingerprint(): protocol.encode_trace(trace) for trace in traces}
+        return self._admit(entries, list(traces), payloads, track_per_pc, cells)
+
+    def _admit(
+        self,
+        entries: Sequence[Dict[str, Any]],
+        traces: Sequence[Trace],
+        trace_payloads: Dict[str, str],
+        track_per_pc: bool,
+        cells: Optional[Sequence[Tuple[str, int]]] = None,
+    ) -> SweepJob:
+        """Expand spec entries x traces into cells and enqueue them."""
+        labels = [str(entry["label"]) for entry in entries]
+        if len(set(labels)) != len(labels):
+            raise ValueError("two specs share a label; give one an explicit name")
+        wanted: Optional[set] = None
+        if cells is not None:
+            wanted = {(str(label), int(index)) for label, index in cells}
+            for label, index in wanted:
+                if label not in labels or not 0 <= index < len(traces):
+                    raise ValueError(f"unknown cell ({label!r}, {index})")
+        with self._cond:
+            job = SweepJob(
+                job_id=next(self._job_ids),
+                labels=labels,
+                trace_names=[trace.name for trace in traces],
+                track_per_pc=bool(track_per_pc),
+                slots={label: [None] * len(traces) for label in labels},
+            )
+            self._jobs[job.job_id] = job
+            self._traces.update(trace_payloads)
+            prefilled: List[Tuple[_Cell, SimulationResult]] = []
+            for entry in entries:
+                label = str(entry["label"])
+                spec_dict = entry["spec"]
+                spec = PredictorSpec.from_dict(spec_dict)  # validates
+                store_keys = self._store_keys(spec, entry["profile"], traces, job)
+                for index, trace in enumerate(traces):
+                    if wanted is not None and (label, index) not in wanted:
+                        continue
+                    cell = _Cell(
+                        cell_id=next(self._cell_ids),
+                        job=job,
+                        label=label,
+                        index=index,
+                        spec_dict=spec_dict,
+                        profile_payload=entry["profile"],
+                        trace_fingerprint=trace.fingerprint(),
+                        trace_name=trace.name,
+                        store_key=store_keys[index] if store_keys else None,
+                    )
+                    job.total += 1
+                    self._cells[cell.cell_id] = cell
+                    stored = self._store_get(cell)
+                    if stored is not None:
+                        prefilled.append((cell, stored))
+                    else:
+                        self._pending.append(cell.cell_id)
+            self.log(
+                f"job {job.job_id}: {job.total} cell(s) over {len(labels)} spec(s) "
+                f"x {len(traces)} trace(s)"
+                + (f", {len(prefilled)} already in store" if prefilled else "")
+            )
+            for cell, stored in prefilled:
+                self._complete_locked(cell, stored, persist=False)
+            self._cond.notify_all()
+            return job
+
+    def _store_keys(
+        self,
+        spec: PredictorSpec,
+        profile_payload: Dict[str, Any],
+        traces: Sequence[Trace],
+        job: SweepJob,
+    ) -> Optional[List[str]]:
+        """Per-trace store keys (``None`` without a store / identity)."""
+        if self.store is None or not isinstance(spec.base, CompositeOptions):
+            return None
+        sizes = protocol.profile_from_payload(profile_payload)
+        content = spec.content()
+        sizes_content = profile_content(sizes)
+        return [
+            ResultStore.cell_key(
+                content, sizes_content, trace.fingerprint(), job.track_per_pc
+            )
+            for trace in traces
+        ]
+
+    # ----------------------------------------------------------------- #
+    # Scheduler core (all under self._lock)
+    # ----------------------------------------------------------------- #
+
+    def _store_get(self, cell: _Cell) -> Optional[SimulationResult]:
+        if self.store is None or cell.store_key is None:
+            return None
+        return self.store.get(cell.store_key)
+
+    def _reap_expired_locked(self) -> None:
+        now = time.monotonic()
+        expired = [
+            cell_id for cell_id, (_, deadline) in self._leases.items()
+            if deadline <= now
+        ]
+        for cell_id in expired:
+            del self._leases[cell_id]
+            self._pending.appendleft(cell_id)
+            cell = self._cells[cell_id]
+            self.log(
+                f"lease expired on cell {cell_id} "
+                f"({cell.label} / {cell.trace_name}); requeued"
+            )
+
+    def _lease(self, owner: int) -> Tuple[str, Optional[_Cell]]:
+        """One scheduling decision: ``("work", cell)``, ``("wait", None)``
+        or ``("shutdown", None)``."""
+        with self._cond:
+            if self._stopping.is_set():
+                return ("shutdown", None)
+            self._reap_expired_locked()
+            while self._pending:
+                cell_id = self._pending.popleft()
+                cell = self._cells.get(cell_id)
+                if cell is None:  # job released after settling
+                    continue
+                if cell.job.finished:  # failed job: drop its queued cells
+                    continue
+                if cell.job.slots[cell.label][cell.index] is not None:
+                    continue  # completed while queued (duplicate requeue)
+                stored = self._store_get(cell)
+                if stored is not None:  # a concurrent writer beat us to it
+                    self._complete_locked(cell, stored, persist=False)
+                    continue
+                self._leases[cell_id] = (
+                    owner, time.monotonic() + self.lease_timeout
+                )
+                return ("work", cell)
+            return ("wait", None)
+
+    def _complete(self, cell_id: int, result: SimulationResult, owner: int) -> bool:
+        """Accept an uploaded result; ``False`` when it was a duplicate."""
+        with self._cond:
+            cell = self._cells.get(cell_id)
+            if cell is None:
+                return False
+            self._leases.pop(cell_id, None)
+            if cell.job.slots[cell.label][cell.index] is not None:
+                return False  # first upload won; drop the duplicate
+            return self._complete_locked(cell, result)
+
+    def _complete_locked(
+        self, cell: _Cell, result: SimulationResult, persist: bool = True
+    ) -> bool:
+        # Stored cells may carry the display name of whichever run wrote
+        # them; results are normalised to this sweep's label.
+        result.predictor_name = cell.label
+        cell.job.slots[cell.label][cell.index] = result
+        cell.job.done += 1
+        if persist and self.store is not None and cell.store_key is not None:
+            try:
+                self.store.put(
+                    cell.store_key,
+                    result,
+                    label=cell.label,
+                    trace_fingerprint=cell.trace_fingerprint,
+                    spec=cell.spec_dict,
+                )
+            except (OSError, TypeError, ValueError):
+                pass  # an unwritable store must not fail the sweep
+        if self.progress is not None:
+            self.progress(cell.job.done, cell.job.total)
+        if cell.job.done >= cell.job.total:
+            self.log(f"job {cell.job.job_id}: complete ({cell.job.total} cells)")
+            cell.job._event.set()
+        self._cond.notify_all()
+        return True
+
+    def _fail_job(self, cell_id: int, message: str) -> None:
+        """A cell is unbuildable: the whole job fails fast."""
+        with self._cond:
+            cell = self._cells.get(cell_id)
+            if cell is None or cell.job.finished:
+                return
+            if cell.job.slots[cell.label][cell.index] is not None:
+                return  # a stale failure for a cell another worker completed
+            self._leases.pop(cell_id, None)
+            job = cell.job
+            job.error = (
+                f"cell {cell_id} ({cell.label} / {cell.trace_name}) failed: {message}"
+            )
+            self.log(f"job {job.job_id}: failed -- {job.error}")
+            job._event.set()
+            self._cond.notify_all()
+
+    def release_job(self, job: SweepJob) -> None:
+        """Drop a settled job's scheduler state (a long-lived service must
+        not grow with every job it has ever served).
+
+        The job object itself — its slots, :meth:`SweepJob.runs` — stays
+        valid for the caller; only the coordinator's cell map, leases and
+        now-unreferenced trace payloads are pruned.  Submitter
+        connections call this after answering; ``repro serve`` sweeps
+        exit anyway.
+        """
+        with self._cond:
+            self._jobs.pop(job.job_id, None)
+            released = [
+                cell_id for cell_id, cell in self._cells.items()
+                if cell.job is job
+            ]
+            for cell_id in released:
+                del self._cells[cell_id]
+                self._leases.pop(cell_id, None)
+            live = {cell.trace_fingerprint for cell in self._cells.values()}
+            for fingerprint in [fp for fp in self._traces if fp not in live]:
+                del self._traces[fingerprint]
+            self._cond.notify_all()
+
+    def _release_owner(self, owner: int) -> None:
+        """Requeue every cell the (dead) connection still holds."""
+        with self._cond:
+            held = [
+                cell_id for cell_id, (held_by, _) in self._leases.items()
+                if held_by == owner
+            ]
+            for cell_id in held:
+                del self._leases[cell_id]
+                self._pending.appendleft(cell_id)
+            if held:
+                self.log(
+                    f"connection {owner} died holding {len(held)} lease(s); requeued"
+                )
+            self._cond.notify_all()
+
+    # ----------------------------------------------------------------- #
+    # Connection handling
+    # ----------------------------------------------------------------- #
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                sock, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listener closed by shutdown()
+            sock.settimeout(None)
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass
+            conn_id = next(self._conn_ids)
+            with self._lock:
+                self._open_sockets[conn_id] = sock
+            self._conn_threads = [
+                thread for thread in self._conn_threads if thread.is_alive()
+            ]
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn_id, sock),
+                name=f"repro-dist-conn-{conn_id}",
+                daemon=True,
+            )
+            self._conn_threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, conn_id: int, sock: socket.socket) -> None:
+        rfile = sock.makefile("rb")
+        wfile = sock.makefile("wb")
+        try:
+            try:
+                frame = protocol.read_frame(rfile)
+            except ProtocolError as error:
+                self._send_error(wfile, str(error))
+                return
+            if frame is None:
+                return
+            if frame["type"] == "hello":
+                self._serve_worker(conn_id, frame, rfile, wfile)
+            elif frame["type"] == "submit":
+                self._serve_submitter(conn_id, frame, wfile)
+            else:
+                self._send_error(
+                    wfile, f"expected hello or submit, got {frame['type']!r}"
+                )
+        finally:
+            self._release_owner(conn_id)
+            with self._lock:
+                self._open_sockets.pop(conn_id, None)
+            for stream in (wfile, rfile):
+                try:
+                    stream.close()
+                except OSError:
+                    pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _send_error(self, wfile, message: str) -> None:
+        try:
+            protocol.write_frame(wfile, {"type": "error", "message": message})
+        except (ProtocolError, OSError, ValueError):
+            pass  # best effort: the peer may already be gone
+
+    def _serve_worker(self, conn_id: int, hello: Dict[str, Any], rfile, wfile) -> None:
+        if hello.get("protocol") != protocol.PROTOCOL_VERSION:
+            self._send_error(
+                wfile,
+                f"protocol mismatch: coordinator speaks "
+                f"{protocol.PROTOCOL_VERSION}, worker sent {hello.get('protocol')!r}",
+            )
+            return
+        worker_name = str(hello.get("worker") or f"conn-{conn_id}")
+        self.log(f"worker {worker_name} connected (connection {conn_id})")
+        protocol.write_frame(
+            wfile,
+            {
+                "type": "welcome",
+                "protocol": protocol.PROTOCOL_VERSION,
+                "lease_timeout": self.lease_timeout,
+            },
+        )
+        try:
+            while not self._stopping.is_set():
+                frame = protocol.read_frame(rfile)
+                if frame is None:
+                    break
+                kind = frame["type"]
+                if kind == "lease":
+                    state, cell = self._lease(conn_id)
+                    if state == "work":
+                        protocol.write_frame(
+                            wfile, {"type": "work", "item": cell.work_item()}
+                        )
+                    elif state == "wait":
+                        protocol.write_frame(wfile, {"type": "wait", "delay": 0.25})
+                    else:
+                        protocol.write_frame(wfile, {"type": "shutdown"})
+                        break
+                elif kind == "fetch_trace":
+                    fingerprint = frame.get("fingerprint")
+                    payload = self._traces.get(fingerprint)
+                    if payload is None:
+                        raise ProtocolError(f"unknown trace {fingerprint!r}")
+                    protocol.write_frame(
+                        wfile,
+                        {"type": "trace", "fingerprint": fingerprint, "data": payload},
+                    )
+                elif kind == "result":
+                    cell_id = frame.get("cell")
+                    try:
+                        result = result_from_dict(frame["result"])
+                    except (KeyError, TypeError, ValueError) as error:
+                        raise ProtocolError(f"malformed result: {error}") from None
+                    if not isinstance(cell_id, int):
+                        raise ProtocolError("result frame without a cell id")
+                    accepted = self._complete(cell_id, result, conn_id)
+                    protocol.write_frame(
+                        wfile, {"type": "ack", "cell": cell_id, "accepted": accepted}
+                    )
+                elif kind == "failure":
+                    cell_id = frame.get("cell")
+                    if not isinstance(cell_id, int):
+                        raise ProtocolError("failure frame without a cell id")
+                    self._fail_job(cell_id, str(frame.get("message", "unknown error")))
+                    protocol.write_frame(
+                        wfile, {"type": "ack", "cell": cell_id, "accepted": False}
+                    )
+                else:
+                    raise ProtocolError(f"unexpected frame type {kind!r}")
+        except protocol.ConnectionClosed:
+            pass  # the worker went away; its leases are requeued below
+        except ProtocolError as error:
+            self.log(f"worker {worker_name}: protocol error: {error}")
+            self._send_error(wfile, str(error))
+        except OSError:
+            pass
+        self.log(f"worker {worker_name} disconnected")
+
+    def _serve_submitter(self, conn_id: int, frame: Dict[str, Any], wfile) -> None:
+        try:
+            job = self._admit_remote(frame)
+        except (ProtocolError, ValueError, TypeError, KeyError) as error:
+            self._send_error(wfile, f"bad submit: {error}")
+            return
+        self.log(f"job {job.job_id} submitted by connection {conn_id}")
+        try:
+            protocol.write_frame(
+                wfile,
+                {
+                    "type": "accepted",
+                    "job": job.job_id,
+                    "total": job.total,
+                    "done": job.done,
+                },
+            )
+            last_done = -1
+            while True:
+                finished = job.wait(timeout=0.2)
+                if job.done != last_done and not finished:
+                    last_done = job.done
+                    protocol.write_frame(
+                        wfile,
+                        {
+                            "type": "progress",
+                            "job": job.job_id,
+                            "done": job.done,
+                            "total": job.total,
+                        },
+                    )
+                if finished:
+                    reply: Dict[str, Any] = {
+                        "type": "job_done",
+                        "job": job.job_id,
+                        "done": job.done,
+                        "total": job.total,
+                    }
+                    if job.error is not None:
+                        reply["error"] = job.error
+                    else:
+                        reply["cells"] = [
+                            {
+                                "label": label,
+                                "index": index,
+                                "result": result_to_dict(result),
+                            }
+                            for label, index, result in job.completed_cells()
+                        ]
+                    protocol.write_frame(wfile, reply)
+                    break
+                if self._stopping.is_set():
+                    self._send_error(wfile, "coordinator is shutting down")
+                    break
+        except (ProtocolError, OSError, ValueError):
+            self.log(
+                f"submitter of job {job.job_id} disconnected; job keeps running"
+            )
+        if job.finished:
+            self.release_job(job)
+
+    def _admit_remote(self, frame: Dict[str, Any]) -> SweepJob:
+        """Admit a job from a ``submit`` frame (payloads are validated)."""
+        if frame.get("protocol") != protocol.PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"protocol mismatch: coordinator speaks "
+                f"{protocol.PROTOCOL_VERSION}, submitter sent {frame.get('protocol')!r}"
+            )
+        raw_specs = frame.get("specs")
+        raw_traces = frame.get("traces")
+        if not isinstance(raw_specs, list) or not raw_specs:
+            raise ProtocolError("submit needs a non-empty 'specs' list")
+        if not isinstance(raw_traces, list) or not raw_traces:
+            raise ProtocolError("submit needs a non-empty 'traces' list")
+        entries = []
+        for raw in raw_specs:
+            if not isinstance(raw, dict):
+                raise ProtocolError("each spec entry must be an object")
+            label = raw.get("label")
+            spec_dict = raw.get("spec")
+            profile_payload = raw.get("profile")
+            if not isinstance(label, str) or not label:
+                raise ProtocolError("spec entry without a label")
+            if not isinstance(spec_dict, dict) or not isinstance(profile_payload, dict):
+                raise ProtocolError(f"spec entry {label!r} is malformed")
+            PredictorSpec.from_dict(spec_dict)  # raises ValueError on junk
+            protocol.profile_from_payload(profile_payload)
+            entries.append(
+                {"label": label, "spec": spec_dict, "profile": profile_payload}
+            )
+        traces: List[Trace] = []
+        payloads: Dict[str, str] = {}
+        for raw in raw_traces:
+            if not isinstance(raw, str):
+                raise ProtocolError("each trace must be a base64 string")
+            trace = protocol.decode_trace(raw)
+            traces.append(trace)
+            payloads[trace.fingerprint()] = raw
+        cells = None
+        if frame.get("cells") is not None:
+            if not isinstance(frame["cells"], list):
+                raise ProtocolError("'cells' must be a list of [label, index] pairs")
+            try:
+                cells = [(str(label), int(index)) for label, index in frame["cells"]]
+            except (TypeError, ValueError) as error:
+                raise ProtocolError(f"malformed 'cells' entry: {error}") from None
+        return self._admit(
+            entries, traces, payloads, bool(frame.get("track_per_pc")), cells
+        )

@@ -1,0 +1,318 @@
+"""The sweep worker: leases cells from a coordinator and simulates them.
+
+A worker is a loop around one TCP connection: lease a cell, make sure the
+cell's trace is cached locally (fetching it from the coordinator on first
+use), build the predictor from the cell's self-contained spec payload,
+simulate through the existing fast engine, and upload the result.  With
+``jobs > 1`` the simulations fan out over a local
+:class:`~concurrent.futures.ProcessPoolExecutor` while the connection
+keeps leasing ahead, so one worker process saturates one machine exactly
+like ``repro sweep --jobs``.
+
+Workers are stateless and safely killable: anything leased but not yet
+uploaded is requeued by the coordinator (on connection death immediately,
+on lease expiry otherwise).  With a local ``--store`` the worker reuses
+cells it already has and persists what it computes, so a shared store
+directory turns uploads into pure bookkeeping.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+from repro.dist import protocol
+from repro.dist.protocol import ConnectionClosed, ProtocolError
+from repro.sim.engine import SimulationResult
+from repro.sim.runner import _simulate_spec
+from repro.store import ResultStore, result_to_dict
+from repro.trace.trace import Trace
+
+__all__ = ["Worker", "run_worker"]
+
+
+class Worker:
+    """One connection's worth of lease-simulate-upload loop.
+
+    Parameters
+    ----------
+    host / port:
+        Coordinator address.
+    jobs:
+        Concurrent simulations; 1 (default) stays in-process, more fans
+        out over a process pool.
+    store:
+        Optional local/shared :class:`ResultStore`: cells found there are
+        uploaded without simulating, computed cells are persisted.
+    name:
+        Worker name in coordinator logs (default: ``host-pid``).
+    connect_retry:
+        Seconds to keep retrying the initial connect (covers the race of
+        starting workers before the coordinator is listening).
+    log:
+        Optional ``(message: str)`` callable for lifecycle events.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        jobs: int = 1,
+        store: Union[ResultStore, str, None, bool] = False,
+        name: Optional[str] = None,
+        connect_retry: float = 10.0,
+        log: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be positive, got {jobs}")
+        self.host = host
+        self.port = port
+        self.jobs = jobs
+        self.store = ResultStore.resolve(store)
+        self.name = name or f"{socket.gethostname()}-{os.getpid()}"
+        self.connect_retry = float(connect_retry)
+        self.log = log or (lambda message: None)
+        self.completed = 0
+        self._traces: Dict[str, Trace] = {}
+
+    # ----------------------------------------------------------------- #
+    # Connection plumbing
+    # ----------------------------------------------------------------- #
+
+    def _connect(self):
+        deadline = time.monotonic() + self.connect_retry
+        delay = 0.05
+        while True:
+            try:
+                return protocol.connect(self.host, self.port)
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(delay)
+                delay = min(delay * 2, 1.0)
+
+    def _request(self, rfile, wfile, frame: Dict[str, Any], *replies: str):
+        protocol.write_frame(wfile, frame)
+        return protocol.expect(protocol.read_frame(rfile), *replies)
+
+    def _trace_for(self, rfile, wfile, item: Dict[str, Any]) -> Trace:
+        fingerprint = item["trace"]
+        trace = self._traces.get(fingerprint)
+        if trace is None:
+            reply = self._request(
+                rfile, wfile,
+                {"type": "fetch_trace", "fingerprint": fingerprint},
+                "trace",
+            )
+            trace = protocol.decode_trace(reply.get("data", ""))
+            if trace.fingerprint() != fingerprint:
+                raise ProtocolError(
+                    f"coordinator sent trace {trace.fingerprint()[:12]} "
+                    f"for requested {fingerprint[:12]}"
+                )
+            self._traces[fingerprint] = trace
+        return trace
+
+    # ----------------------------------------------------------------- #
+    # Cell execution
+    # ----------------------------------------------------------------- #
+
+    def _decode_item(self, item: Dict[str, Any]) -> Tuple[Dict[str, Any], Any, bool]:
+        spec_dict = item.get("spec")
+        profile_payload = item.get("profile")
+        if not isinstance(spec_dict, dict) or not isinstance(profile_payload, dict):
+            raise ProtocolError("malformed work item")
+        sizes = protocol.profile_from_payload(profile_payload)
+        return spec_dict, sizes, bool(item.get("track_per_pc"))
+
+    def _stored(self, item: Dict[str, Any]) -> Optional[SimulationResult]:
+        key = item.get("store_key")
+        if self.store is None or not isinstance(key, str):
+            return None
+        return self.store.get(key)
+
+    def _persist(self, item: Dict[str, Any], result: SimulationResult) -> None:
+        key = item.get("store_key")
+        if self.store is None or not isinstance(key, str):
+            return
+        try:
+            self.store.put(
+                key,
+                result,
+                label=item.get("label"),
+                trace_fingerprint=item.get("trace"),
+                spec=item.get("spec"),
+            )
+        except (OSError, TypeError, ValueError):
+            pass  # an unwritable store must not fail the worker
+
+    def _upload(self, rfile, wfile, item: Dict[str, Any], result: SimulationResult) -> None:
+        self._persist(item, result)
+        protocol.write_frame(
+            wfile,
+            {
+                "type": "result",
+                "cell": item["cell"],
+                "result": result_to_dict(result),
+            },
+        )
+        # Counted once the frame is on the wire: the coordinator may
+        # accept the final result and shut down before the ack arrives.
+        self.completed += 1
+        protocol.expect(protocol.read_frame(rfile), "ack")
+
+    #: Errors that are deterministic properties of the cell itself (an
+    #: unknown configuration name, bad override types, invalid geometry):
+    #: retrying on another worker cannot succeed, so they fail the job
+    #: fast via a ``failure`` frame.  Anything else (a broken process
+    #: pool, OOM, I/O trouble) is a property of *this worker* -- the
+    #: worker dies instead, the coordinator requeues its leases, and the
+    #: sweep completes elsewhere.
+    _CELL_ERRORS = (KeyError, TypeError, ValueError, AttributeError)
+
+    def _report_failure(self, rfile, wfile, item: Dict[str, Any], error: BaseException) -> None:
+        if not isinstance(error, self._CELL_ERRORS):
+            raise error
+        self._request(
+            rfile, wfile,
+            {
+                "type": "failure",
+                "cell": item["cell"],
+                "message": f"{type(error).__name__}: {error}",
+            },
+            "ack",
+        )
+
+    # ----------------------------------------------------------------- #
+    # Main loop
+    # ----------------------------------------------------------------- #
+
+    def run(self) -> int:
+        """Serve until the coordinator shuts down; returns cells completed."""
+        sock = self._connect()
+        rfile = sock.makefile("rb")
+        wfile = sock.makefile("wb")
+        pool: Optional[ProcessPoolExecutor] = None
+        try:
+            welcome = self._request(
+                rfile, wfile,
+                {
+                    "type": "hello",
+                    "role": "worker",
+                    "protocol": protocol.PROTOCOL_VERSION,
+                    "worker": self.name,
+                },
+                "welcome",
+            )
+            if welcome.get("protocol") != protocol.PROTOCOL_VERSION:
+                raise ProtocolError(
+                    f"coordinator speaks protocol {welcome.get('protocol')!r}, "
+                    f"this worker speaks {protocol.PROTOCOL_VERSION}"
+                )
+            self.log(f"worker {self.name}: connected to {self.host}:{self.port}")
+            if self.jobs > 1:
+                pool = ProcessPoolExecutor(max_workers=self.jobs)
+            try:
+                self._serve(rfile, wfile, pool)
+            except ConnectionClosed:
+                # The coordinator closing the connection (rather than
+                # sending a shutdown frame) is the normal end of a
+                # serve-one-sweep run; anything leased is requeued there.
+                self.log(f"worker {self.name}: coordinator closed the connection")
+            self.log(f"worker {self.name}: done ({self.completed} cell(s) simulated)")
+            return self.completed
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+            for stream in (wfile, rfile):
+                try:
+                    stream.close()
+                except OSError:
+                    pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _serve(self, rfile, wfile, pool: Optional[ProcessPoolExecutor]) -> None:
+        in_flight: Dict[Future, Dict[str, Any]] = {}
+        draining = False
+        capacity = self.jobs if pool is not None else 1
+        while True:
+            # Phase 1: lease until the pool is full or nothing is leasable.
+            delay = 0.0
+            while not draining and len(in_flight) < capacity:
+                reply = self._request(
+                    rfile, wfile, {"type": "lease"}, "work", "wait", "shutdown"
+                )
+                if reply["type"] == "shutdown":
+                    draining = True
+                    break
+                if reply["type"] == "wait":
+                    delay = float(reply.get("delay", 0.25))
+                    break
+                item = reply["item"]
+                stored = self._stored(item)
+                if stored is not None:
+                    self._upload(rfile, wfile, item, stored)
+                    continue
+                trace = self._trace_for(rfile, wfile, item)
+                spec_dict, sizes, track_per_pc = self._decode_item(item)
+                if pool is None:
+                    try:
+                        result = _simulate_spec(spec_dict, sizes, trace, track_per_pc)
+                    except Exception as error:
+                        self._report_failure(rfile, wfile, item, error)
+                        continue
+                    self._upload(rfile, wfile, item, result)
+                else:
+                    future = pool.submit(
+                        _simulate_spec, spec_dict, sizes, trace, track_per_pc
+                    )
+                    in_flight[future] = item
+            # Phase 2: drain at least one finished simulation.
+            if in_flight:
+                done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
+                for future in done:
+                    item = in_flight.pop(future)
+                    error = future.exception()
+                    if error is not None:
+                        self._report_failure(rfile, wfile, item, error)
+                    else:
+                        self._upload(rfile, wfile, item, future.result())
+            elif draining:
+                return
+            elif delay:
+                time.sleep(delay)
+
+
+def run_worker(
+    connect: str,
+    jobs: int = 1,
+    store: Union[ResultStore, str, Path, None, bool] = False,
+    name: Optional[str] = None,
+    connect_retry: float = 10.0,
+    log: Optional[Callable[[str], None]] = None,
+) -> int:
+    """Run one worker against ``"host:port"`` until the coordinator closes.
+
+    Returns the number of cells this worker completed (``repro worker``
+    is a thin wrapper around this).
+    """
+    host, _, port_text = connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise ValueError(f"--connect needs HOST:PORT, got {connect!r}")
+    worker = Worker(
+        host,
+        int(port_text),
+        jobs=jobs,
+        store=store,
+        name=name,
+        connect_retry=connect_retry,
+        log=log,
+    )
+    return worker.run()

@@ -8,21 +8,25 @@ several experiments sharing a configuration (for example Table 1 and
 Figure 8, which both need ``tage-gsc`` and ``tage-gsc+imli``) only pay for
 the simulation once.
 
-With ``max_workers`` set, the runner fans independent ``(configuration,
-trace)`` simulations across a :class:`concurrent.futures.ProcessPoolExecutor`
--- each pair is a self-contained unit of work (a fresh predictor trained on
-one trace), so the parallel results are bit-identical to the serial ones and
-are merged back into the same memoisation cache.  Registry-named
-configurations and declarative :class:`~repro.api.specs.PredictorSpec`
-objects (after resolving to explicit options) can be dispatched to workers;
-configurations with custom (potentially unpicklable) factories or
-builder-based specs fall back to in-process simulation transparently.
+Execution is **backend-pluggable**: the same batch of independent
+``(configuration, trace)`` cells can run in-process (``serial``), across a
+:class:`concurrent.futures.ProcessPoolExecutor` (``pool``, selected
+automatically by ``max_workers``), or on a cluster through a
+:class:`~repro.dist.client.DistBackend` connected to a ``repro serve``
+coordinator.  Each cell is a self-contained unit of work (a fresh
+predictor trained on one trace), so every backend produces bit-identical
+results, merged back into the same memoisation cache and persistent
+store.  Registry-named configurations and declarative
+:class:`~repro.api.specs.PredictorSpec` objects (after resolving to
+explicit options) can be dispatched to any backend; configurations with
+custom (potentially unpicklable) factories or builder-based specs fall
+back to in-process simulation transparently.
 """
 
 from __future__ import annotations
 
 import hashlib
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
@@ -48,7 +52,7 @@ from repro.trace.trace import Trace
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sim must not
     from repro.api.specs import PredictorSpec  # depend on api at runtime)
 
-__all__ = ["ConfigurationRun", "SuiteRunner"]
+__all__ = ["ConfigurationRun", "ExecutionBackend", "SuiteRunner"]
 
 PredictorFactory = Callable[[], BranchPredictor]
 
@@ -123,6 +127,32 @@ def _simulate_spec(
     return simulate(predictor, trace, track_per_pc=track_per_pc)
 
 
+class ExecutionBackend:
+    """Structural interface of pluggable cell-execution backends.
+
+    A backend object (``SuiteRunner(backend=...)``) receives one batch of
+    missing ``(label, trace index)`` cells together with everything needed
+    to simulate them anywhere -- resolved specs, resolved size profiles
+    and the traces themselves -- and returns one
+    :class:`~repro.sim.engine.SimulationResult` per requested cell.
+    :class:`repro.dist.client.DistBackend` is the shipped implementation;
+    duck typing is enough, subclassing this is optional.
+    """
+
+    name = "custom"
+
+    def execute(
+        self,
+        specs: Mapping[str, "PredictorSpec"],
+        sizes: Mapping[str, SizeProfile],
+        traces: Sequence[Trace],
+        pending: Sequence[Tuple[str, int]],
+        track_per_pc: bool = False,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> Dict[Tuple[str, int], SimulationResult]:
+        raise NotImplementedError
+
+
 @dataclass
 class ConfigurationRun:
     """Results of one configuration over one collection of traces."""
@@ -179,6 +209,18 @@ class SuiteRunner:
         concurrent workers) sharing one store directory reuse each other's
         results.  Factory and builder-based runs have no content-addressed
         identity and bypass the store.
+    backend:
+        Execution backend for portable spec cells: ``None`` (default --
+        ``"pool"`` when ``max_workers`` asks for one, ``"serial"``
+        otherwise), the explicit strings ``"serial"`` / ``"pool"``, or an
+        object with the :class:`~repro.dist.client.DistBackend` ``execute``
+        signature to run cells on a cluster.  ``"serial"`` forces
+        in-process simulation even when ``max_workers`` is set.
+    progress:
+        Optional ``(done, total)`` callable invoked as cells complete
+        (simulated, loaded from the store, or already memoised) -- e.g. a
+        :class:`~repro.common.progress.ProgressPrinter` for live sweep
+        output.
     """
 
     def __init__(
@@ -187,18 +229,36 @@ class SuiteRunner:
         profile: str = "default",
         max_workers: Optional[int] = None,
         store: Union[ResultStore, str, Path, None, bool] = None,
+        backend: Union[str, "ExecutionBackend", None] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
     ) -> None:
         if not traces:
             raise ValueError("the runner needs at least one trace")
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be positive, got {max_workers}")
+        if isinstance(backend, str):
+            if backend not in ("serial", "pool"):
+                raise ValueError(
+                    f"unknown backend {backend!r}; use 'serial', 'pool' or a "
+                    "backend object (e.g. repro.dist.DistBackend)"
+                )
+        elif backend is not None and not callable(getattr(backend, "execute", None)):
+            raise TypeError(
+                "a backend object needs an execute() method "
+                f"(got {type(backend).__name__})"
+            )
         self.traces = list(traces)
         self.profile = profile
         self.max_workers = max_workers
         self.store = ResultStore.resolve(store)
+        self.backend = backend
+        self.progress = progress
         #: (validity stamp, run) per key -- see ``_CacheKey``/``_CacheEntry``.
         self._cache: Dict[_CacheKey, _CacheEntry] = {}
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._progress_total = 0
+        self._progress_done = 0
+        self._progress_active = False
 
     def trace_names(self) -> List[str]:
         """Names of the traces the runner evaluates on."""
@@ -216,13 +276,53 @@ class SuiteRunner:
             digest.update(trace.fingerprint().encode("ascii"))
         return digest.hexdigest()
 
-    def _parallel_for(self, units: int) -> bool:
-        """Whether ``units`` independent simulations warrant the pool."""
-        return self.max_workers is not None and self.max_workers > 1 and units > 1
+    def _use_batch(self, units: int) -> bool:
+        """Whether ``units`` independent cells go through the batch path.
 
-    @property
-    def _parallel(self) -> bool:
-        return self._parallel_for(len(self.traces))
+        The batch path fans cells over the configured backend: always for
+        an explicit backend object (a remote backend handles even one
+        cell), for more than one cell under ``backend="pool"``, and --
+        the ``backend=None`` default -- when ``max_workers`` configures a
+        pool.  ``backend="serial"`` never batches.
+        """
+        if self.backend is None:
+            return self.max_workers is not None and self.max_workers > 1 and units > 1
+        if self.backend == "serial":
+            return False
+        if self.backend == "pool":
+            return units > 1
+        return units >= 1
+
+    # ----------------------------------------------------------------- #
+    # Progress accounting
+    # ----------------------------------------------------------------- #
+    #
+    # One top-level run_spec/run_specs call owns a progress "session":
+    # it fixes the cell total up front and every completed cell --
+    # simulated, loaded from the store, or served from the memo --
+    # advances the shared counter, so nested calls (run_specs delegating
+    # to run_spec, the batch path) all report into one display.
+
+    def _progress_begin(self, total: int) -> bool:
+        if self.progress is None or self._progress_active:
+            return False
+        self._progress_active = True
+        self._progress_total = total
+        self._progress_done = 0
+        self.progress(0, total)  # starts the display's clock
+        return True
+
+    def _progress_advance(self, cells: int = 1) -> None:
+        if not self._progress_active or cells <= 0:
+            return
+        self._progress_done = min(
+            self._progress_done + cells, self._progress_total
+        )
+        self.progress(self._progress_done, self._progress_total)
+
+    def _progress_end(self, owned: bool) -> None:
+        if owned:
+            self._progress_active = False
 
     def run(
         self,
@@ -254,11 +354,16 @@ class SuiteRunner:
         cached = self._cache.get(key)
         if cached is not None and cached[0] is factory:
             return cached[1]
-        run = ConfigurationRun(configuration=configuration)
-        for trace in self.traces:
-            run.results.append(
-                simulate(factory(), trace, track_per_pc=track_per_pc)
-            )
+        owned = self._progress_begin(len(self.traces))
+        try:
+            run = ConfigurationRun(configuration=configuration)
+            for trace in self.traces:
+                run.results.append(
+                    simulate(factory(), trace, track_per_pc=track_per_pc)
+                )
+                self._progress_advance()
+        finally:
+            self._progress_end(owned)
         self._cache[key] = (factory, run)
         return run
 
@@ -355,33 +460,38 @@ class SuiteRunner:
         cached = self._cached_spec_run(key, token)
         if cached is not None:
             return cached
-        resolved = spec.resolve(registry)
-        if (
-            registry is None
-            and self._parallel
-            and isinstance(resolved.base, CompositeOptions)
-        ):
-            run = self._run_parallel_specs({spec.label: resolved}, track_per_pc)[
-                spec.label
-            ]
-        else:
-            store_keys = self._store_keys(resolved, track_per_pc, registry)
-            run = ConfigurationRun(configuration=spec.label)
-            for index, trace in enumerate(self.traces):
-                result = (
-                    self.store.get(store_keys[index]) if store_keys else None
-                )
-                if result is None:
-                    result = simulate(
-                        spec.build(registry), trace, track_per_pc=track_per_pc
+        owned = self._progress_begin(len(self.traces))
+        try:
+            resolved = spec.resolve(registry)
+            if (
+                registry is None
+                and self._use_batch(len(self.traces))
+                and isinstance(resolved.base, CompositeOptions)
+            ):
+                run = self._run_batch_specs({spec.label: resolved}, track_per_pc)[
+                    spec.label
+                ]
+            else:
+                store_keys = self._store_keys(resolved, track_per_pc, registry)
+                run = ConfigurationRun(configuration=spec.label)
+                for index, trace in enumerate(self.traces):
+                    result = (
+                        self.store.get(store_keys[index]) if store_keys else None
                     )
-                    if store_keys:
-                        self._store_put(store_keys[index], result, resolved, trace)
-                else:
-                    # The stored cell may have been written under another
-                    # display name for the same content.
-                    result.predictor_name = spec.label
-                run.results.append(result)
+                    if result is None:
+                        result = simulate(
+                            spec.build(registry), trace, track_per_pc=track_per_pc
+                        )
+                        if store_keys:
+                            self._store_put(store_keys[index], result, resolved, trace)
+                    else:
+                        # The stored cell may have been written under another
+                        # display name for the same content.
+                        result.predictor_name = spec.label
+                    run.results.append(result)
+                    self._progress_advance()
+        finally:
+            self._progress_end(owned)
         self._cache[key] = (token, run)
         return run
 
@@ -407,28 +517,48 @@ class SuiteRunner:
                     f"two different specs share the label {spec.label!r}; "
                     "give one an explicit name"
                 )
-        if registry is None:
+        owned = self._progress_begin(len(specs) * len(self.traces))
+        try:
+            # Cells of specs that are already memoised (or duplicated in
+            # this call) complete instantly; count them up front so the
+            # session total is honest.
             uid, token = _registry_identity(registry)
-            batch: Dict[str, "PredictorSpec"] = {}
-            keys: Dict[str, _CacheKey] = {}
+            instant = 0
+            seen: set = set()
             for spec in specs:
                 key = self._spec_key(spec, track_per_pc, uid)
                 if (
                     self._cached_spec_run(key, token) is not None
-                    or spec.label in batch
+                    or spec.label in seen
                 ):
-                    continue
-                resolved = spec.resolve(registry)
-                if isinstance(resolved.base, CompositeOptions):
-                    batch[spec.label] = resolved
-                    keys[spec.label] = key
-            if self._parallel_for(len(batch) * len(self.traces)):
-                for label, run in self._run_parallel_specs(batch, track_per_pc).items():
-                    self._cache[keys[label]] = (token, run)
-        return {
-            spec.label: self.run_spec(spec, track_per_pc, registry=registry)
-            for spec in specs
-        }
+                    instant += len(self.traces)
+                seen.add(spec.label)
+            self._progress_advance(instant)
+            if registry is None:
+                batch: Dict[str, "PredictorSpec"] = {}
+                keys: Dict[str, _CacheKey] = {}
+                for spec in specs:
+                    key = self._spec_key(spec, track_per_pc, uid)
+                    if (
+                        self._cached_spec_run(key, token) is not None
+                        or spec.label in batch
+                    ):
+                        continue
+                    resolved = spec.resolve(registry)
+                    if isinstance(resolved.base, CompositeOptions):
+                        batch[spec.label] = resolved
+                        keys[spec.label] = key
+                if self._use_batch(len(batch) * len(self.traces)):
+                    for label, run in self._run_batch_specs(
+                        batch, track_per_pc
+                    ).items():
+                        self._cache[keys[label]] = (token, run)
+            return {
+                spec.label: self.run_spec(spec, track_per_pc, registry=registry)
+                for spec in specs
+            }
+        finally:
+            self._progress_end(owned)
 
     def _get_pool(self) -> ProcessPoolExecutor:
         """Worker pool, created on first use and reused across runs.
@@ -453,19 +583,20 @@ class SuiteRunner:
         except Exception:
             pass
 
-    def _run_parallel_specs(
+    def _run_batch_specs(
         self, specs: Mapping[str, "PredictorSpec"], track_per_pc: bool
     ) -> Dict[str, ConfigurationRun]:
-        """Fan every (resolved spec, trace) pair across the process pool.
+        """Fan every (resolved spec, trace) pair across the active backend.
 
         Profiles are resolved to :class:`SizeProfile` instances here, in
-        the parent, so workers never consult a registry for them (custom
-        profiles survive the ``spawn`` start method, and unknown profile
-        names fail fast with a parent-side KeyError).
+        the parent, so pool workers and remote backends never consult a
+        registry for them (custom profiles survive the ``spawn`` start
+        method and the wire protocol, and unknown profile names fail fast
+        with a parent-side KeyError).
 
         With a persistent store, cells already on disk are filled in
-        directly and only the misses are submitted -- a fully stored batch
-        never even spins up the pool.
+        directly and only the misses are executed -- a fully stored batch
+        never even touches the backend.
         """
         runs = {label: ConfigurationRun(configuration=label) for label in specs}
         slots: Dict[str, List[Optional[SimulationResult]]] = {
@@ -483,30 +614,17 @@ class SuiteRunner:
                 if cached is not None:
                     cached.predictor_name = label
                     slots[label][index] = cached
+                    self._progress_advance()
                 else:
                     pending.append((label, index))
         if pending:
-            pool = self._get_pool()
             sizes = {
                 label: _default_profile(spec.profile)
                 for label, spec in specs.items()
             }
-            futures = [
-                (
-                    label,
-                    index,
-                    pool.submit(
-                        _simulate_spec,
-                        specs[label].to_dict(),
-                        sizes[label],
-                        self.traces[index],
-                        track_per_pc,
-                    ),
-                )
-                for label, index in pending
-            ]
-            for label, index, future in futures:
-                result = future.result()
+            for (label, index), result in self._execute_pending(
+                specs, sizes, pending, track_per_pc
+            ):
                 keys = store_keys[label]
                 if keys:
                     self._store_put(
@@ -516,6 +634,62 @@ class SuiteRunner:
         for label in specs:
             runs[label].results.extend(slots[label])
         return runs
+
+    def _execute_pending(
+        self,
+        specs: Mapping[str, "PredictorSpec"],
+        sizes: Mapping[str, SizeProfile],
+        pending: Sequence[Tuple[str, int]],
+        track_per_pc: bool,
+    ) -> Iterable[Tuple[Tuple[str, int], SimulationResult]]:
+        """Yield ``((label, index), result)`` for every missing cell.
+
+        Dispatches the batch to the backend object when one is set,
+        otherwise to the local process pool.  Results are yielded as they
+        become available so the caller persists completed cells
+        incrementally (an interrupted sweep keeps what finished).
+        """
+        backend = self.backend if not isinstance(self.backend, str) else None
+        if backend is not None:
+            last = 0
+
+            def _advance_remote(done: int, total: int) -> None:
+                nonlocal last
+                self._progress_advance(done - last)
+                last = done
+
+            results = backend.execute(
+                specs=specs,
+                sizes=sizes,
+                traces=self.traces,
+                pending=list(pending),
+                track_per_pc=track_per_pc,
+                progress=_advance_remote,
+            )
+            for cell in pending:
+                result = results.get(cell)
+                if result is None:
+                    label, index = cell
+                    raise RuntimeError(
+                        f"backend {getattr(backend, 'name', backend)!r} returned "
+                        f"no result for cell ({label!r}, {self.traces[index].name})"
+                    )
+                yield cell, result
+            return
+        pool = self._get_pool()
+        futures = {
+            pool.submit(
+                _simulate_spec,
+                specs[label].to_dict(),
+                sizes[label],
+                self.traces[index],
+                track_per_pc,
+            ): (label, index)
+            for label, index in pending
+        }
+        for future in as_completed(futures):
+            self._progress_advance()
+            yield futures[future], future.result()
 
     def run_many(
         self,

@@ -1,5 +1,10 @@
 """Persistent result storage for sweeps (see :mod:`repro.store.result_store`)."""
 
-from repro.store.result_store import ResultStore, profile_content
+from repro.store.result_store import (
+    ResultStore,
+    profile_content,
+    result_from_dict,
+    result_to_dict,
+)
 
-__all__ = ["ResultStore", "profile_content"]
+__all__ = ["ResultStore", "profile_content", "result_from_dict", "result_to_dict"]

@@ -57,7 +57,12 @@ from typing import Any, Dict, Iterator, List, Optional, Union
 from repro.predictors.composites import SizeProfile
 from repro.sim.engine import ENGINE_VERSION, SimulationResult
 
-__all__ = ["ResultStore", "profile_content"]
+__all__ = [
+    "ResultStore",
+    "profile_content",
+    "result_to_dict",
+    "result_from_dict",
+]
 
 #: Bump when the on-disk record schema changes (old records become misses).
 _RECORD_VERSION = 1
@@ -69,6 +74,42 @@ _STORE_ENV = "REPRO_RESULT_STORE"
 #: Errors that mean "this record is unreadable", not "the store is broken".
 _CORRUPT_ERRORS = (OSError, ValueError, KeyError, TypeError, EOFError,
                    json.JSONDecodeError, gzip.BadGzipFile)
+
+
+def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
+    """JSON-safe dict form of a :class:`SimulationResult`.
+
+    This is the ``"result"`` section of a store record, and the payload
+    shape the distributed runner uploads over its wire protocol
+    (:mod:`repro.dist`).  Inverse: :func:`result_from_dict`.
+    """
+    return {
+        "trace_name": result.trace_name,
+        "predictor_name": result.predictor_name,
+        "conditional_branches": result.conditional_branches,
+        "mispredictions": result.mispredictions,
+        "instructions": result.instructions,
+        "storage_bits": result.storage_bits,
+        "per_pc_mispredictions": {
+            str(pc): count for pc, count in result.per_pc_mispredictions.items()
+        },
+    }
+
+
+def result_from_dict(fields: Dict[str, Any]) -> SimulationResult:
+    """Inverse of :func:`result_to_dict` (raises on malformed input)."""
+    return SimulationResult(
+        trace_name=str(fields["trace_name"]),
+        predictor_name=str(fields["predictor_name"]),
+        conditional_branches=int(fields["conditional_branches"]),
+        mispredictions=int(fields["mispredictions"]),
+        instructions=int(fields["instructions"]),
+        storage_bits=int(fields["storage_bits"]),
+        per_pc_mispredictions={
+            int(pc): int(count)
+            for pc, count in (fields.get("per_pc_mispredictions") or {}).items()
+        },
+    )
 
 
 def profile_content(profile: SizeProfile) -> str:
@@ -251,19 +292,46 @@ class ResultStore:
             "label": label if label is not None else result.predictor_name,
             "trace_fingerprint": trace_fingerprint,
             "spec": spec,
-            "result": {
-                "trace_name": result.trace_name,
-                "predictor_name": result.predictor_name,
-                "conditional_branches": result.conditional_branches,
-                "mispredictions": result.mispredictions,
-                "instructions": result.instructions,
-                "storage_bits": result.storage_bits,
-                "per_pc_mispredictions": {
-                    str(pc): count
-                    for pc, count in result.per_pc_mispredictions.items()
-                },
-            },
+            "result": result_to_dict(result),
         }
+        return self._write_record(key, record)
+
+    def import_record(self, record: Dict[str, Any]) -> Path:
+        """Persist a full record dict produced elsewhere (atomic, validated.)
+
+        The inverse of :meth:`export` / the per-record entries of
+        :meth:`records`: merging one store into another is
+        ``for record in src.export(): dst.import_record(record)``
+        (the CLI form is ``repro store export | repro store import``).
+        The distributed coordinator also uses this to ingest result
+        records uploaded by workers that do not share its store.
+
+        The record must carry its own ``key`` and a ``result`` section
+        that round-trips through :func:`result_from_dict`; transient
+        fields added by :meth:`records` (``path``, ``age_seconds``) are
+        dropped.  Raises ``ValueError`` on malformed records.
+        """
+        if not isinstance(record, dict):
+            raise ValueError("record must be a dict")
+        key = record.get("key")
+        if not isinstance(key, str) or not key:
+            raise ValueError("record has no key")
+        if record.get("version") != _RECORD_VERSION:
+            raise ValueError(
+                f"unsupported record version {record.get('version')!r}"
+            )
+        try:
+            result_from_dict(record["result"])
+        except _CORRUPT_ERRORS as error:
+            raise ValueError(f"record {key[:12]}: malformed result ({error})") from None
+        record = {
+            field: value
+            for field, value in record.items()
+            if field not in ("path", "age_seconds")
+        }
+        return self._write_record(key, record)
+
+    def _write_record(self, key: str, record: Dict[str, Any]) -> Path:
         path = self._paths_for(key)[0]
         path.parent.mkdir(parents=True, exist_ok=True)
         # default=repr: spec overrides may hold non-JSON values (specs allow
@@ -393,16 +461,4 @@ def _load_record(path: Path) -> Dict[str, Any]:
 
 
 def _result_from_record(record: Dict[str, Any]) -> SimulationResult:
-    fields = record["result"]
-    return SimulationResult(
-        trace_name=str(fields["trace_name"]),
-        predictor_name=str(fields["predictor_name"]),
-        conditional_branches=int(fields["conditional_branches"]),
-        mispredictions=int(fields["mispredictions"]),
-        instructions=int(fields["instructions"]),
-        storage_bits=int(fields["storage_bits"]),
-        per_pc_mispredictions={
-            int(pc): int(count)
-            for pc, count in (fields.get("per_pc_mispredictions") or {}).items()
-        },
-    )
+    return result_from_dict(record["result"])

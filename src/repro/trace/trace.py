@@ -47,6 +47,8 @@ __all__ = [
     "load_trace",
     "save_trace_binary",
     "load_trace_binary",
+    "trace_to_bytes",
+    "trace_from_bytes",
 ]
 
 _FORMAT_VERSION = 1
@@ -401,9 +403,14 @@ _COLUMN_TYPECODES = ("q", "q", "b", "b", "q")
 _BIG_ENDIAN_HOST = sys.byteorder == "big"
 
 
-def save_trace_binary(trace: Trace, path: str | Path) -> None:
-    """Write ``trace`` to ``path`` in the compact binary format."""
-    path = Path(path)
+def trace_to_bytes(trace: Trace) -> bytes:
+    """Serialize ``trace`` to the compact binary format as one bytes object.
+
+    The byte layout is identical to what :func:`save_trace_binary` writes,
+    so the result can be persisted to a file or shipped over a socket (the
+    distributed runner sends traces to workers this way) and read back with
+    :func:`trace_from_bytes` / :func:`load_trace_binary`.
+    """
     header = json.dumps(
         {
             "version": _FORMAT_VERSION,
@@ -413,46 +420,67 @@ def save_trace_binary(trace: Trace, path: str | Path) -> None:
         },
         ensure_ascii=False,
     ).encode("utf-8")
-    with path.open("wb") as stream:
-        stream.write(_BINARY_MAGIC)
-        stream.write(_HEADER_LENGTH.pack(len(header)))
-        stream.write(header)
-        for column in trace.columns():
-            if _BIG_ENDIAN_HOST and column.itemsize > 1:
-                column = array(column.typecode, column)
-                column.byteswap()
-            column.tofile(stream)
+    parts = [_BINARY_MAGIC, _HEADER_LENGTH.pack(len(header)), header]
+    for column in trace.columns():
+        if _BIG_ENDIAN_HOST and column.itemsize > 1:
+            column = array(column.typecode, column)
+            column.byteswap()
+        parts.append(column.tobytes())
+    return b"".join(parts)
 
 
-def load_trace_binary(path: str | Path) -> Trace:
-    """Read a trace previously written by :func:`save_trace_binary`."""
-    path = Path(path)
-    with path.open("rb") as stream:
-        magic = stream.read(len(_BINARY_MAGIC))
-        if magic != _BINARY_MAGIC:
-            raise ValueError(f"{path}: not a binary repro trace (bad magic {magic!r})")
-        (header_length,) = _HEADER_LENGTH.unpack(stream.read(_HEADER_LENGTH.size))
-        header = json.loads(stream.read(header_length).decode("utf-8"))
-        if header.get("version") != _FORMAT_VERSION:
-            raise ValueError(
-                f"{path}: unsupported binary trace version {header.get('version')!r}"
-            )
-        count = int(header["count"])
-        trace = Trace(
-            name=str(header["name"]),
-            metadata={str(k): str(v) for k, v in header.get("metadata", {}).items()},
+def trace_from_bytes(data: bytes, source: str = "trace bytes") -> Trace:
+    """Inverse of :func:`trace_to_bytes` (``source`` labels error messages)."""
+    view = memoryview(data)
+    magic = bytes(view[: len(_BINARY_MAGIC)])
+    if magic != _BINARY_MAGIC:
+        raise ValueError(f"{source}: not a binary repro trace (bad magic {magic!r})")
+    offset = len(_BINARY_MAGIC)
+    if len(view) < offset + _HEADER_LENGTH.size:
+        raise ValueError(f"{source}: truncated binary trace header")
+    (header_length,) = _HEADER_LENGTH.unpack_from(view, offset)
+    offset += _HEADER_LENGTH.size
+    try:
+        header = json.loads(bytes(view[offset : offset + header_length]).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ValueError(f"{source}: corrupt binary trace header ({error})") from None
+    offset += header_length
+    if not isinstance(header, dict) or header.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"{source}: unsupported binary trace version "
+            f"{header.get('version') if isinstance(header, dict) else header!r}"
         )
-        columns = []
-        for typecode in _COLUMN_TYPECODES:
-            column = array(typecode)
-            if count:
-                column.fromfile(stream, count)
-                if _BIG_ENDIAN_HOST and column.itemsize > 1:
-                    column.byteswap()
-            columns.append(column)
+    count = int(header["count"])
+    trace = Trace(
+        name=str(header["name"]),
+        metadata={str(k): str(v) for k, v in header.get("metadata", {}).items()},
+    )
+    columns = []
+    for typecode in _COLUMN_TYPECODES:
+        column = array(typecode)
+        if count:
+            end = offset + count * column.itemsize
+            if end > len(view):
+                raise ValueError(f"{source}: truncated binary trace columns")
+            column.frombytes(view[offset:end])
+            offset = end
+            if _BIG_ENDIAN_HOST and column.itemsize > 1:
+                column.byteswap()
+        columns.append(column)
     trace._pc, trace._target, trace._taken, trace._kind, trace._gap = columns
     trace._conditional_count = sum(
         1 for code in trace._kind if code == CONDITIONAL_CODE
     )
     trace._instruction_count = sum(trace._gap) + len(trace._gap)
     return trace
+
+
+def save_trace_binary(trace: Trace, path: str | Path) -> None:
+    """Write ``trace`` to ``path`` in the compact binary format."""
+    Path(path).write_bytes(trace_to_bytes(trace))
+
+
+def load_trace_binary(path: str | Path) -> Trace:
+    """Read a trace previously written by :func:`save_trace_binary`."""
+    path = Path(path)
+    return trace_from_bytes(path.read_bytes(), source=str(path))

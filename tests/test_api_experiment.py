@@ -329,3 +329,122 @@ class TestRunnerSpecPath:
             assert [r.mispredictions for r in serial[label].results] == [
                 r.mispredictions for r in parallel[label].results
             ]
+
+
+class TestProgressAccounting:
+    """The runner's ``progress`` hook counts every cell exactly once."""
+
+    def _collect(self):
+        seen = []
+        return seen, lambda done, total: seen.append((done, total))
+
+    def test_serial_run_counts_every_cell(self, easy_trace, local_trace):
+        seen, hook = self._collect()
+        specs = [
+            PredictorSpec.from_named(name, profile="small")
+            for name in ("tage-gsc", "gehl")
+        ]
+        runner = SuiteRunner([easy_trace, local_trace], profile="small", progress=hook)
+        runner.run_specs(specs)
+        assert seen[0] == (0, 4)
+        assert seen[-1] == (4, 4)
+        assert [done for done, _ in seen] == sorted(done for done, _ in seen)
+
+    def test_memoised_rerun_jumps_to_total(self, easy_trace):
+        seen, hook = self._collect()
+        spec = PredictorSpec.from_named("tage-gsc", profile="small")
+        runner = SuiteRunner([easy_trace], profile="small", progress=hook)
+        runner.run_specs([spec])
+        seen.clear()
+        runner.run_specs([spec])  # fully memoised
+        assert seen == [(0, 1), (1, 1)]
+
+    def test_store_hits_count_as_completed(self, easy_trace, tmp_path):
+        from repro.store import ResultStore
+
+        store = ResultStore(tmp_path / "store")
+        spec = PredictorSpec.from_named("tage-gsc", profile="small")
+        SuiteRunner([easy_trace], profile="small", store=store).run_spec(spec)
+        seen, hook = self._collect()
+        resumed = SuiteRunner(
+            [easy_trace], profile="small", store=store, progress=hook
+        )
+        resumed.run_spec(spec)
+        assert seen[-1] == (1, 1)
+        assert store.hits == 1
+
+    def test_pool_batch_counts_every_cell(self, easy_trace, local_trace):
+        seen, hook = self._collect()
+        specs = [
+            PredictorSpec.from_named(name, profile="small")
+            for name in ("tage-gsc", "gehl")
+        ]
+        runner = SuiteRunner(
+            [easy_trace, local_trace], profile="small", max_workers=2, progress=hook
+        )
+        try:
+            runner.run_specs(specs)
+        finally:
+            runner.close()
+        assert seen[-1] == (4, 4)
+
+
+class TestBackendSelection:
+    def test_unknown_backend_string_is_rejected(self, easy_trace):
+        with pytest.raises(ValueError):
+            SuiteRunner([easy_trace], backend="quantum")
+
+    def test_backend_object_needs_execute(self, easy_trace):
+        with pytest.raises(TypeError):
+            SuiteRunner([easy_trace], backend=object())
+
+    def test_serial_backend_forces_in_process(self, easy_trace, local_trace):
+        # With backend="serial" the pool is never created even though
+        # max_workers asks for one.
+        runner = SuiteRunner(
+            [easy_trace, local_trace], profile="small",
+            max_workers=4, backend="serial",
+        )
+        specs = [
+            PredictorSpec.from_named(name, profile="small")
+            for name in ("tage-gsc", "gehl")
+        ]
+        runner.run_specs(specs)
+        assert runner._pool is None
+
+    def test_custom_backend_object_runs_cells(self, easy_trace, local_trace):
+        from repro.sim.runner import _simulate_spec
+
+        class InlineBackend:
+            """Executes the runner's batch in-process (test double)."""
+
+            name = "inline"
+            calls = 0
+
+            def execute(self, specs, sizes, traces, pending,
+                        track_per_pc=False, progress=None):
+                type(self).calls += 1
+                results = {}
+                for label, index in pending:
+                    results[(label, index)] = _simulate_spec(
+                        specs[label].to_dict(), sizes[label],
+                        traces[index], track_per_pc,
+                    )
+                if progress is not None:
+                    progress(len(pending), len(pending))
+                return results
+
+        specs = [
+            PredictorSpec.from_named(name, profile="small")
+            for name in ("tage-gsc", "gehl")
+        ]
+        serial = SuiteRunner([easy_trace, local_trace], profile="small").run_specs(specs)
+        backend_runner = SuiteRunner(
+            [easy_trace, local_trace], profile="small", backend=InlineBackend()
+        )
+        via_backend = backend_runner.run_specs(specs)
+        assert InlineBackend.calls == 1
+        for label in serial:
+            assert [r.mispredictions for r in serial[label].results] == [
+                r.mispredictions for r in via_backend[label].results
+            ]

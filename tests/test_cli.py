@@ -217,6 +217,27 @@ class TestSweep:
             "--benchmarks", "SPEC2K6-00", "--length", "300", "--profile", "small",
         ]) == 2
 
+    def test_sweep_progress_reports_cells(self, capsys):
+        exit_code = main([
+            "sweep", "--base", "tage-gsc", "--param", "imli_sic=true,false",
+            "--benchmarks", "SPEC2K6-00", "--length", "300", "--profile", "small",
+            "--progress",
+        ])
+        assert exit_code == 0
+        err = capsys.readouterr().err
+        assert "sweep: 0/2 cells" in err
+        assert "sweep: 2/2 cells" in err
+        assert "cells/s" in err
+
+    def test_simulate_progress_reports_cells(self, capsys):
+        exit_code = main([
+            "simulate", "--configurations", "tage-gsc",
+            "--benchmarks", "SPEC2K6-00", "--length", "300", "--profile", "small",
+            "--progress",
+        ])
+        assert exit_code == 0
+        assert "simulate: 1/1 cells" in capsys.readouterr().err
+
     def test_sweep_colliding_labels_is_an_error(self, capsys):
         # JSON 15 and string "15" are different override values but derive
         # the same label; the duplicate-label rejection must exit cleanly.

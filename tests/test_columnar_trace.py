@@ -159,6 +159,29 @@ class TestBinaryFormat:
         assert loaded.conditional_count == trace.conditional_count
         assert loaded.columns() == trace.columns()
 
+    def test_bytes_codec_matches_file_format(self, tmp_path):
+        from repro.trace.trace import trace_from_bytes, trace_to_bytes
+
+        trace = _mixed_trace()
+        data = trace_to_bytes(trace)
+        path = tmp_path / "mixed.rpt"
+        save_trace_binary(trace, path)
+        assert path.read_bytes() == data
+        restored = trace_from_bytes(data)
+        assert list(restored) == list(trace)
+        assert restored.fingerprint() == trace.fingerprint()
+
+    def test_bytes_codec_rejects_truncation(self):
+        from repro.trace.trace import trace_from_bytes, trace_to_bytes
+
+        data = trace_to_bytes(_mixed_trace())
+        with pytest.raises(ValueError):
+            trace_from_bytes(data[: len(data) - 4])
+        with pytest.raises(ValueError):
+            trace_from_bytes(data[:10])
+        with pytest.raises(ValueError):
+            trace_from_bytes(b"JUNK")
+
 
 class TestGenerationCache:
     def test_cache_round_trips_identical_traces(self, tmp_path, monkeypatch):
