@@ -2,17 +2,32 @@
 
 Not a paper experiment -- this benchmark tracks the speed of the pure-Python
 trace-driven simulator itself so that regressions in the hot prediction path
-are visible in pytest-benchmark's timing output.
+are visible in pytest-benchmark's timing output.  Alongside the per-
+configuration timings it tracks the batched sweep engine: an 8-spec grid
+driven through ``simulate_many`` in one trace traversal.
+
+Run as a script for machine-readable numbers (no pytest required)::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py --json
+
+which prints the same JSON document ``check_regression.py`` writes (the
+CI gate and ``--write-baseline`` live there).
 """
 
 from __future__ import annotations
 
 import pytest
 
-from benchmarks._harness import bench_profile
+try:
+    from benchmarks._harness import bench_profile
+    from benchmarks.check_regression import SWEEP_BASE, SWEEP_DELAYS
+except ModuleNotFoundError:  # run as a script: benchmarks/ is sys.path[0]
+    from _harness import bench_profile
+    from check_regression import SWEEP_BASE, SWEEP_DELAYS
 
+from repro.api.specs import PredictorSpec
 from repro.predictors.composites import build_named
-from repro.sim.engine import simulate
+from repro.sim.engine import simulate, simulate_many
 from repro.workloads.suites import generate_benchmark, get_benchmark
 
 CONFIGURATIONS = ["bimodal-baseline", "tage-gsc", "tage-gsc+imli", "gehl+imli"]
@@ -30,6 +45,11 @@ def _build(configuration):
 
         return BimodalPredictor()
     return build_named(configuration, profile=bench_profile())
+
+
+def _sweep_predictors():
+    base = PredictorSpec.from_named(SWEEP_BASE, profile=bench_profile())
+    return [spec.build() for spec in base.sweep(oh_update_delay=SWEEP_DELAYS)]
 
 
 @pytest.mark.parametrize("configuration", CONFIGURATIONS)
@@ -53,3 +73,61 @@ def test_fast_path_bit_identical(configuration):
     assert fast.conditional_branches == reference.conditional_branches
     assert fast.instructions == reference.instructions
     assert fast.storage_bits == reference.storage_bits
+
+
+def test_sweep_throughput(benchmark):
+    """Batched grid: all sweep specs in one traversal (specs/s tracked)."""
+    trace = _trace()
+
+    def run_once():
+        return simulate_many(_sweep_predictors(), trace)
+
+    results = benchmark.pedantic(run_once, rounds=3, iterations=1)
+    assert len(results) == len(SWEEP_DELAYS)
+    assert all(
+        result.conditional_branches == trace.conditional_count
+        for result in results
+    )
+
+
+def test_batched_sweep_bit_identical():
+    """The batched grid must match per-cell simulation bit-for-bit."""
+    trace = _trace()
+    batched = simulate_many(_sweep_predictors(), trace)
+    serial = [simulate(predictor, trace) for predictor in _sweep_predictors()]
+    for ours, theirs in zip(batched, serial):
+        assert ours.mispredictions == theirs.mispredictions
+        assert ours.conditional_branches == theirs.conditional_branches
+        assert ours.instructions == theirs.instructions
+        assert ours.storage_bits == theirs.storage_bits
+
+
+def main(argv=None) -> int:
+    """Script entry: print the throughput document (optionally as JSON)."""
+    import argparse
+    import json
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    import check_regression
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output: one JSON document on stdout",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3,
+        help="timing rounds per metric, best-of (default 3)",
+    )
+    args = parser.parse_args(argv)
+    if args.json:
+        return check_regression.main(["--rounds", str(args.rounds), "--output", "-"])
+    return check_regression.main(["--rounds", str(args.rounds)])
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -52,6 +52,14 @@ BENCHMARK = "SPEC2K6-12"
 LENGTH = 1500
 PROFILE = "default"
 
+#: The batched-grid workload behind the ``sweep_specs_per_s`` metric: an
+#: 8-spec ``oh_update_delay`` grid over the same trace, driven through
+#: ``simulate_many`` in one traversal (the batched sweep engine's hot
+#: path).  The serial figure replays the same grid one ``simulate`` call
+#: per spec, the pre-batching layout.
+SWEEP_BASE = "tage-gsc+oh"
+SWEEP_DELAYS = [0, 1, 3, 7, 15, 31, 63, 127]
+
 
 def _build(configuration: str):
     if configuration == "bimodal-baseline":
@@ -59,6 +67,53 @@ def _build(configuration: str):
 
         return BimodalPredictor()
     return build_named(configuration, profile=PROFILE)
+
+
+def _sweep_predictors():
+    from repro.api.specs import PredictorSpec
+
+    base = PredictorSpec.from_named(SWEEP_BASE, profile=PROFILE)
+    return [spec.build() for spec in base.sweep(oh_update_delay=SWEEP_DELAYS)]
+
+
+def measure_sweep(
+    rounds: int, use_fast_path: Optional[bool] = None
+) -> Dict[str, float]:
+    """Best-of-``rounds`` specs/s for the batched grid (and serially).
+
+    ``sweep_specs_per_s`` (the gated metric) drives all grid specs through
+    one :func:`~repro.sim.engine.simulate_many` traversal;
+    ``sweep_specs_per_s_serial`` replays the same grid per-cell for
+    comparison.  Fresh predictors per round, like :func:`measure`, and the
+    same ``use_fast_path`` semantics (``False`` = reference path, so
+    ``--no-fast-path`` degrades this metric too).
+    """
+    from repro.sim.engine import simulate_many
+
+    trace = generate_benchmark(
+        get_benchmark(SUITE, BENCHMARK), target_conditional_branches=LENGTH
+    )
+    best_batched = 0.0
+    best_serial = 0.0
+    for _ in range(rounds):
+        predictors = _sweep_predictors()
+        start = time.perf_counter()
+        results = simulate_many(predictors, trace, use_fast_path=use_fast_path)
+        elapsed = time.perf_counter() - start
+        if any(r.conditional_branches != trace.conditional_count for r in results):
+            raise RuntimeError("batched sweep simulated a partial trace")
+        best_batched = max(best_batched, len(predictors) / elapsed)
+
+        predictors = _sweep_predictors()
+        start = time.perf_counter()
+        for predictor in predictors:
+            simulate(predictor, trace, use_fast_path=use_fast_path)
+        elapsed = time.perf_counter() - start
+        best_serial = max(best_serial, len(predictors) / elapsed)
+    return {
+        "sweep_specs_per_s": best_batched,
+        "sweep_specs_per_s_serial": best_serial,
+    }
 
 
 def measure(rounds: int, use_fast_path: Optional[bool]) -> Dict[str, float]:
@@ -87,6 +142,20 @@ def measure(rounds: int, use_fast_path: Optional[bool]) -> Dict[str, float]:
             best = max(best, result.conditional_branches / elapsed)
         throughput[configuration] = best
     return throughput
+
+
+def _gate_metrics(document: Dict) -> Dict[str, float]:
+    """Flatten one measurement document into the gated metric set.
+
+    Per-configuration predictions/s plus the batched sweep throughput.
+    Baselines written before the sweep metric existed simply gate fewer
+    metrics (``compare`` iterates the baseline's keys).
+    """
+    metrics = dict(document.get("predictions_per_second", {}))
+    sweep = document.get("sweep")
+    if isinstance(sweep, dict) and "specs_per_second" in sweep:
+        metrics["sweep_specs_per_s"] = sweep["specs_per_second"]
+    return metrics
 
 
 def compare(
@@ -147,6 +216,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     throughput = measure(args.rounds, False if args.no_fast_path else None)
+    sweep = measure_sweep(args.rounds, False if args.no_fast_path else None)
     document = {
         "meta": {
             "suite": SUITE,
@@ -161,9 +231,20 @@ def main(argv=None) -> int:
         "predictions_per_second": {
             name: round(value, 1) for name, value in throughput.items()
         },
+        "sweep": {
+            "base": SWEEP_BASE,
+            "grid": {"oh_update_delay": SWEEP_DELAYS},
+            "specs": len(SWEEP_DELAYS),
+            "specs_per_second": round(sweep["sweep_specs_per_s"], 3),
+            "specs_per_second_serial": round(
+                sweep["sweep_specs_per_s_serial"], 3
+            ),
+        },
     }
     for destination in (args.output, args.write_baseline):
-        if destination:
+        if destination == "-":
+            print(json.dumps(document, indent=2))
+        elif destination:
             Path(destination).parent.mkdir(parents=True, exist_ok=True)
             Path(destination).write_text(
                 json.dumps(document, indent=2) + "\n", encoding="utf-8"
@@ -172,13 +253,21 @@ def main(argv=None) -> int:
     if args.write_baseline:
         return 0
     if args.baseline is None:
+        if args.output == "-":
+            return 0  # stdout is the JSON document; keep it parseable
         for name, value in throughput.items():
             print(f"{name:<20} {value:>12.0f} predictions/s")
+        print(
+            f"{'sweep (batched)':<20} {sweep['sweep_specs_per_s']:>12.2f} specs/s "
+            f"({sweep['sweep_specs_per_s'] / sweep['sweep_specs_per_s_serial']:.2f}x "
+            "vs per-cell)"
+        )
         return 0
 
     baseline_doc = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
-    baseline = baseline_doc["predictions_per_second"]
-    regressions = compare(document["predictions_per_second"], baseline, args.max_drop)
+    regressions = compare(
+        _gate_metrics(document), _gate_metrics(baseline_doc), args.max_drop
+    )
     if regressions:
         print(
             f"FAIL: {regressions} configuration(s) regressed more than "

@@ -238,6 +238,13 @@ class Experiment:
     progress:
         Optional ``(done, total)`` callable invoked per completed cell
         (e.g. a :class:`~repro.common.progress.ProgressPrinter`).
+    batch:
+        Same-trace cell batching (see
+        :class:`~repro.sim.runner.SuiteRunner`): ``None``/``True``
+        (default) groups cells sharing a trace into one
+        :func:`~repro.sim.engine.simulate_many` traversal, an ``int``
+        caps the group size, ``False`` restores one simulation per cell.
+        Results, store keys and exported bytes are identical either way.
     """
 
     def __init__(
@@ -254,6 +261,7 @@ class Experiment:
         store: Union["ResultStore", str, None, bool] = None,
         backend: Union[str, object, None] = None,
         progress=None,
+        batch: Union[bool, int, None] = None,
     ) -> None:
         self.specs = [
             spec
@@ -282,6 +290,7 @@ class Experiment:
         self.store = ResultStore.resolve(store)
         self.backend = backend
         self.progress = progress
+        self.batch = batch
         self._traces = list(traces) if traces is not None else None
         self._runner: Optional[SuiteRunner] = None
 
@@ -358,6 +367,7 @@ class Experiment:
                 store=self.store if self.store is not None else False,
                 backend=self.backend,
                 progress=self.progress,
+                batch=self.batch,
             )
         return self._runner
 

@@ -101,6 +101,38 @@ def _add_workload_arguments(parser: argparse.ArgumentParser, length: int) -> Non
         "--progress", action="store_true",
         help="print per-cell completion (done/total, cells/s, ETA) on stderr",
     )
+    _add_batch_arguments(parser)
+
+
+def _add_batch_arguments(parser: argparse.ArgumentParser) -> None:
+    """``--batch`` / ``--no-batch``: same-trace cell batching escape hatch."""
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--batch", type=_positive_int, default=None, metavar="N",
+        help="max same-trace (spec, trace) cells simulated per batched "
+             "traversal (default: engine default); results are identical "
+             "at any setting",
+    )
+    group.add_argument(
+        "--no-batch", action="store_true",
+        help="disable same-trace cell batching (one simulation per cell)",
+    )
+
+
+def _batch_option(args: argparse.Namespace):
+    """The ``batch=`` value for Experiment from ``--batch``/``--no-batch``."""
+    if getattr(args, "no_batch", False):
+        return False
+    return args.batch
+
+
+def _grant_limit(args: argparse.Namespace) -> int:
+    """Cells per lease grant for serve/worker (1 disables batching)."""
+    from repro.sim.runner import DEFAULT_BATCH_CELLS
+
+    if getattr(args, "no_batch", False):
+        return 1
+    return args.batch if args.batch is not None else DEFAULT_BATCH_CELLS
 
 
 def _add_store_argument(parser: argparse.ArgumentParser) -> None:
@@ -216,6 +248,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="print per-cell completion (done/total, cells/s, ETA) on stderr",
     )
+    _add_batch_arguments(serve)
 
     worker = subparsers.add_parser(
         "worker", help="lease sweep cells from a coordinator and simulate them"
@@ -233,6 +266,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--connect-retry", type=float, default=10.0, metavar="SECONDS",
         help="keep retrying the initial connect for this long (default: 10)",
     )
+    _add_batch_arguments(worker)
     _add_store_argument(worker)
 
     submit = subparsers.add_parser(
@@ -467,6 +501,7 @@ def _command_simulate(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             store=store if store is not None else False,
             progress=ProgressPrinter("simulate") if args.progress else None,
+            batch=_batch_option(args),
         )
         results = experiment.run()
     except (KeyError, TypeError, ValueError) as error:
@@ -523,6 +558,10 @@ def _resume_command(args: argparse.Namespace, store: ResultStore) -> str:
     parts += ["--length", str(args.length), "--profile", args.profile]
     if args.jobs and args.jobs > 1:
         parts += ["--jobs", str(args.jobs)]
+    if getattr(args, "no_batch", False):
+        parts += ["--no-batch"]
+    elif args.batch is not None:
+        parts += ["--batch", str(args.batch)]
     parts += ["--store", str(store.root), "--resume"]
     if args.json_output:
         parts += ["--json", args.json_output]
@@ -552,6 +591,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             store=store if store is not None else False,
             progress=ProgressPrinter("sweep") if args.progress else None,
+            batch=_batch_option(args),
         )
         results = experiment.run(baseline=base_spec)
     except (KeyError, TypeError, ValueError) as error:
@@ -646,6 +686,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             port=args.port,
             store=store if store is not None else False,
             lease_timeout=args.lease_timeout,
+            batch=_grant_limit(args),
             progress=ProgressPrinter("serve") if args.progress else None,
             log=_log_stderr,
         )
@@ -717,6 +758,7 @@ def _command_worker(args: argparse.Namespace) -> int:
             store=store if store is not None else False,
             name=args.name,
             connect_retry=args.connect_retry,
+            batch=_grant_limit(args),
             log=_log_stderr,
         )
     except KeyboardInterrupt:

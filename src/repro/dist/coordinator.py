@@ -38,7 +38,7 @@ from repro.dist import protocol
 from repro.dist.protocol import ProtocolError
 from repro.predictors.composites import CompositeOptions
 from repro.sim.engine import SimulationResult
-from repro.sim.runner import ConfigurationRun
+from repro.sim.runner import DEFAULT_BATCH_CELLS, ConfigurationRun
 from repro.store import ResultStore, profile_content, result_from_dict, result_to_dict
 from repro.trace.trace import Trace
 
@@ -147,6 +147,12 @@ class Coordinator:
     lease_timeout:
         Seconds a leased cell may stay unfinished before it is requeued
         for another worker.
+    batch:
+        Ceiling on cells granted per lease request.  A worker asking for
+        ``max_cells`` receives up to ``min(max_cells, batch)`` cells
+        sharing one trace (and per-PC flag), so it can simulate them in
+        one :func:`~repro.sim.engine.simulate_many` traversal.  ``1``
+        disables lease batching (every grant is a single cell).
     progress:
         Optional ``(done, total)`` callable, invoked per completed cell
         of every job (e.g. a
@@ -162,15 +168,19 @@ class Coordinator:
         port: int = 0,
         store: Union[ResultStore, str, None, bool] = False,
         lease_timeout: float = 120.0,
+        batch: int = DEFAULT_BATCH_CELLS,
         progress: Optional[Callable[[int, int], None]] = None,
         log: Optional[Callable[[str], None]] = None,
     ) -> None:
         if lease_timeout <= 0:
             raise ValueError(f"lease_timeout must be positive, got {lease_timeout}")
+        if batch < 1:
+            raise ValueError(f"batch must be positive, got {batch}")
         self._host = host
         self._port = port
         self.store = ResultStore.resolve(store)
         self.lease_timeout = float(lease_timeout)
+        self.batch = int(batch)
         self.progress = progress
         self.log = log or (lambda message: None)
 
@@ -397,14 +407,30 @@ class Coordinator:
                 f"({cell.label} / {cell.trace_name}); requeued"
             )
 
-    def _lease(self, owner: int) -> Tuple[str, Optional[_Cell]]:
-        """One scheduling decision: ``("work", cell)``, ``("wait", None)``
-        or ``("shutdown", None)``."""
+    def _lease(self, owner: int, max_cells: int = 1) -> Tuple[str, List[_Cell]]:
+        """One scheduling decision: ``("work", cells)``, ``("wait", [])``
+        or ``("shutdown", [])``.
+
+        With ``max_cells > 1`` the grant has **trace affinity**: after the
+        first leasable cell anchors the grant, up to
+        ``min(max_cells, batch) - 1`` more pending cells sharing its trace
+        fingerprint and per-PC flag are leased in the same grant (queue
+        order preserved for the rest), so the worker simulates the whole
+        grant over one decoded trace in one batched traversal.  The lease
+        deadline scales with the grant: an N-cell grant only uploads after
+        one shared traversal of roughly N cells' work, so every cell in it
+        gets ``N * lease_timeout`` -- ``lease_timeout`` keeps meaning "time
+        budget per cell", independent of batching.
+        """
+        limit = max(1, min(int(max_cells), self.batch))
         with self._cond:
             if self._stopping.is_set():
-                return ("shutdown", None)
+                return ("shutdown", [])
             self._reap_expired_locked()
-            while self._pending:
+            granted: List[_Cell] = []
+            anchor: Optional[Tuple[str, bool]] = None
+            passed_over: List[int] = []
+            while self._pending and len(granted) < limit:
                 cell_id = self._pending.popleft()
                 cell = self._cells.get(cell_id)
                 if cell is None:  # job released after settling
@@ -413,15 +439,30 @@ class Coordinator:
                     continue
                 if cell.job.slots[cell.label][cell.index] is not None:
                     continue  # completed while queued (duplicate requeue)
+                affinity = (cell.trace_fingerprint, cell.job.track_per_pc)
+                if anchor is not None and affinity != anchor:
+                    # A different trace: not part of this grant.  Skipped
+                    # cells go back to the queue front afterwards -- the
+                    # store check below is deliberately not run for them
+                    # (one disk probe per *granted* cell, not per scan).
+                    passed_over.append(cell_id)
+                    continue
                 stored = self._store_get(cell)
                 if stored is not None:  # a concurrent writer beat us to it
                     self._complete_locked(cell, stored, persist=False)
                     continue
-                self._leases[cell_id] = (
-                    owner, time.monotonic() + self.lease_timeout
+                anchor = affinity
+                granted.append(cell)
+            for cell_id in reversed(passed_over):
+                self._pending.appendleft(cell_id)
+            if granted:
+                deadline = (
+                    time.monotonic() + self.lease_timeout * len(granted)
                 )
-                return ("work", cell)
-            return ("wait", None)
+                for cell in granted:
+                    self._leases[cell.cell_id] = (owner, deadline)
+                return ("work", granted)
+            return ("wait", [])
 
     def _complete(self, cell_id: int, result: SimulationResult, owner: int) -> bool:
         """Accept an uploaded result; ``False`` when it was a duplicate."""
@@ -614,11 +655,25 @@ class Coordinator:
                     break
                 kind = frame["type"]
                 if kind == "lease":
-                    state, cell = self._lease(conn_id)
+                    max_cells = frame.get("max_cells", 1)
+                    if not isinstance(max_cells, int) or max_cells < 1:
+                        max_cells = 1
+                    state, cells = self._lease(conn_id, max_cells)
                     if state == "work":
-                        protocol.write_frame(
-                            wfile, {"type": "work", "item": cell.work_item()}
-                        )
+                        if "max_cells" in frame:
+                            # A batching worker asked; it understands the
+                            # multi-cell grant shape.
+                            protocol.write_frame(
+                                wfile,
+                                {
+                                    "type": "work",
+                                    "items": [cell.work_item() for cell in cells],
+                                },
+                            )
+                        else:
+                            protocol.write_frame(
+                                wfile, {"type": "work", "item": cells[0].work_item()}
+                            )
                     elif state == "wait":
                         protocol.write_frame(wfile, {"type": "wait", "delay": 0.25})
                     else:

@@ -16,10 +16,13 @@ Worker session::
 
     -> {"type": "hello", "role": "worker", "protocol": 1, "worker": "w1"}
     <- {"type": "welcome", "protocol": 1, "lease_timeout": 120.0}
-    -> {"type": "lease"}
+    -> {"type": "lease"}                      # or {"type": "lease", "max_cells": 8}
     <- {"type": "work", "item": {"cell": 7, "label": ..., "spec": ...,
         "profile": ..., "trace": "<fingerprint>", "trace_name": ...,
         "track_per_pc": false, "store_key": "..."}}
+       | {"type": "work", "items": [{...}, ...]}  # batched grant: only in
+                                              # reply to a "max_cells" lease;
+                                              # all items share one trace
        | {"type": "wait", "delay": 0.25}      # nothing leasable right now
        | {"type": "shutdown"}                 # coordinator is closing
     -> {"type": "fetch_trace", "fingerprint": "..."}

@@ -1,13 +1,14 @@
 """The sweep worker: leases cells from a coordinator and simulates them.
 
-A worker is a loop around one TCP connection: lease a cell, make sure the
-cell's trace is cached locally (fetching it from the coordinator on first
-use), build the predictor from the cell's self-contained spec payload,
-simulate through the existing fast engine, and upload the result.  With
-``jobs > 1`` the simulations fan out over a local
-:class:`~concurrent.futures.ProcessPoolExecutor` while the connection
-keeps leasing ahead, so one worker process saturates one machine exactly
-like ``repro sweep --jobs``.
+A worker is a loop around one TCP connection: lease up to ``--batch``
+cells sharing one trace, make sure that trace is cached locally (fetching
+it from the coordinator on first use; the cache is a small LRU), build
+one predictor per cell from its self-contained spec payload, simulate the
+whole grant in one :func:`~repro.sim.engine.simulate_many` traversal, and
+upload one result per cell.  With ``jobs > 1`` the batched simulations
+fan out over a local :class:`~concurrent.futures.ProcessPoolExecutor`
+while the connection keeps leasing ahead, so one worker process saturates
+one machine exactly like ``repro sweep --jobs``.
 
 Workers are stateless and safely killable: anything leased but not yet
 uploaded is requeued by the coordinator (on connection death immediately,
@@ -21,18 +22,29 @@ from __future__ import annotations
 import os
 import socket
 import time
+from collections import OrderedDict
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from pathlib import Path
-from typing import Any, Callable, Dict, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.dist import protocol
 from repro.dist.protocol import ConnectionClosed, ProtocolError
 from repro.sim.engine import SimulationResult
-from repro.sim.runner import _simulate_spec
+from repro.sim.runner import (
+    DEFAULT_BATCH_CELLS,
+    BatchCellError,
+    _simulate_spec_batch,
+)
 from repro.store import ResultStore, result_to_dict
 from repro.trace.trace import Trace
 
-__all__ = ["Worker", "run_worker"]
+__all__ = ["DEFAULT_TRACE_CACHE", "Worker", "run_worker"]
+
+#: Default ceiling on decoded traces a worker keeps in memory.  A
+#: long-lived worker serving many jobs would otherwise accumulate every
+#: trace it has ever simulated; least-recently-used traces are evicted
+#: beyond this bound and simply re-fetched if a later lease needs them.
+DEFAULT_TRACE_CACHE = 8
 
 
 class Worker:
@@ -53,6 +65,14 @@ class Worker:
     connect_retry:
         Seconds to keep retrying the initial connect (covers the race of
         starting workers before the coordinator is listening).
+    batch:
+        Cells requested per lease.  The coordinator grants up to this
+        many cells sharing one trace, which the worker simulates in one
+        :func:`~repro.sim.engine.simulate_many` traversal; ``1`` restores
+        strict cell-at-a-time leasing.
+    trace_cache:
+        Decoded traces kept in memory (least-recently-used eviction
+        beyond the bound; evicted traces are re-fetched on demand).
     log:
         Optional ``(message: str)`` callable for lifecycle events.
     """
@@ -65,19 +85,27 @@ class Worker:
         store: Union[ResultStore, str, None, bool] = False,
         name: Optional[str] = None,
         connect_retry: float = 10.0,
+        batch: int = DEFAULT_BATCH_CELLS,
+        trace_cache: int = DEFAULT_TRACE_CACHE,
         log: Optional[Callable[[str], None]] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be positive, got {jobs}")
+        if batch < 1:
+            raise ValueError(f"batch must be positive, got {batch}")
+        if trace_cache < 1:
+            raise ValueError(f"trace_cache must be positive, got {trace_cache}")
         self.host = host
         self.port = port
         self.jobs = jobs
         self.store = ResultStore.resolve(store)
         self.name = name or f"{socket.gethostname()}-{os.getpid()}"
         self.connect_retry = float(connect_retry)
+        self.batch = int(batch)
+        self.trace_cache = int(trace_cache)
         self.log = log or (lambda message: None)
         self.completed = 0
-        self._traces: Dict[str, Trace] = {}
+        self._traces: "OrderedDict[str, Trace]" = OrderedDict()
 
     # ----------------------------------------------------------------- #
     # Connection plumbing
@@ -102,19 +130,23 @@ class Worker:
     def _trace_for(self, rfile, wfile, item: Dict[str, Any]) -> Trace:
         fingerprint = item["trace"]
         trace = self._traces.get(fingerprint)
-        if trace is None:
-            reply = self._request(
-                rfile, wfile,
-                {"type": "fetch_trace", "fingerprint": fingerprint},
-                "trace",
+        if trace is not None:
+            self._traces.move_to_end(fingerprint)
+            return trace
+        reply = self._request(
+            rfile, wfile,
+            {"type": "fetch_trace", "fingerprint": fingerprint},
+            "trace",
+        )
+        trace = protocol.decode_trace(reply.get("data", ""))
+        if trace.fingerprint() != fingerprint:
+            raise ProtocolError(
+                f"coordinator sent trace {trace.fingerprint()[:12]} "
+                f"for requested {fingerprint[:12]}"
             )
-            trace = protocol.decode_trace(reply.get("data", ""))
-            if trace.fingerprint() != fingerprint:
-                raise ProtocolError(
-                    f"coordinator sent trace {trace.fingerprint()[:12]} "
-                    f"for requested {fingerprint[:12]}"
-                )
-            self._traces[fingerprint] = trace
+        self._traces[fingerprint] = trace
+        while len(self._traces) > self.trace_cache:
+            self._traces.popitem(last=False)  # evict least recently used
         return trace
 
     # ----------------------------------------------------------------- #
@@ -238,8 +270,117 @@ class Worker:
             except OSError:
                 pass
 
+    #: One leased grant in flight on the pool: its items and everything
+    #: needed to resubmit the survivors after a cell failure.
+    _Grant = Tuple[List[Dict[str, Any]], List[tuple], Trace, bool]
+
+    def _lease_frame(self) -> Dict[str, Any]:
+        """The lease request; plain (batch-free) when batching is off.
+
+        Omitting ``max_cells`` keeps a ``--batch 1`` worker byte-identical
+        on the wire to a pre-batching one, so it interoperates with any
+        coordinator.
+        """
+        if self.batch > 1:
+            return {"type": "lease", "max_cells": self.batch}
+        return {"type": "lease"}
+
+    def _simulate_inline(
+        self, rfile, wfile,
+        items: List[Dict[str, Any]],
+        entries: List[tuple],
+        trace: Trace,
+        track_per_pc: bool,
+    ) -> None:
+        """Simulate one grant in-process, pruning cells that fail."""
+        items = list(items)
+        entries = list(entries)
+        while items:
+            try:
+                results = _simulate_spec_batch(entries, trace, track_per_pc)
+            except BatchCellError as error:
+                self._report_failure(
+                    rfile, wfile, items[error.index], error.original
+                )
+                del items[error.index]
+                del entries[error.index]
+                continue
+            for item, result in zip(items, results):
+                self._upload(rfile, wfile, item, result)
+            return
+
+    def _process_grant(
+        self, rfile, wfile,
+        items: List[Dict[str, Any]],
+        pool: Optional[ProcessPoolExecutor],
+        in_flight: Dict[Future, "_Grant"],
+    ) -> None:
+        """Dispatch one lease grant: store hits upload immediately, the
+        rest simulate as one batched traversal per (trace, per-PC) group
+        (the coordinator grants with trace affinity; grouping here keeps
+        the worker correct against any coordinator)."""
+        todo: List[Dict[str, Any]] = []
+        for item in items:
+            stored = self._stored(item)
+            if stored is not None:
+                self._upload(rfile, wfile, item, stored)
+            else:
+                todo.append(item)
+        groups: Dict[Tuple[str, bool], List[Dict[str, Any]]] = {}
+        for item in todo:
+            key = (str(item.get("trace")), bool(item.get("track_per_pc")))
+            groups.setdefault(key, []).append(item)
+        for (_, track_per_pc), group in groups.items():
+            trace = self._trace_for(rfile, wfile, group[0])
+            entries = []
+            for item in group:
+                spec_dict, sizes, _ = self._decode_item(item)
+                entries.append((spec_dict, sizes))
+            if pool is None:
+                self._simulate_inline(
+                    rfile, wfile, group, entries, trace, track_per_pc
+                )
+            else:
+                future = pool.submit(
+                    _simulate_spec_batch, entries, trace, track_per_pc
+                )
+                in_flight[future] = (group, entries, trace, track_per_pc)
+
+    def _drain_one(
+        self, rfile, wfile,
+        pool: Optional[ProcessPoolExecutor],
+        in_flight: Dict[Future, "_Grant"],
+    ) -> None:
+        """Wait for at least one pool grant and upload / retry / fail it."""
+        done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
+        for future in done:
+            items, entries, trace, track_per_pc = in_flight.pop(future)
+            error = future.exception()
+            if error is None:
+                for item, result in zip(items, future.result()):
+                    self._upload(rfile, wfile, item, result)
+            elif isinstance(error, BatchCellError):
+                self._report_failure(
+                    rfile, wfile, items[error.index], error.original
+                )
+                rest_items = [
+                    item for i, item in enumerate(items) if i != error.index
+                ]
+                rest_entries = [
+                    entry for i, entry in enumerate(entries) if i != error.index
+                ]
+                if rest_items:
+                    retry = pool.submit(
+                        _simulate_spec_batch, rest_entries, trace, track_per_pc
+                    )
+                    in_flight[retry] = (rest_items, rest_entries, trace, track_per_pc)
+            else:
+                # Not a property of any one cell (broken pool, OOM, ...):
+                # worker-fatal, the coordinator requeues our leases.
+                raise error
+
     def _serve(self, rfile, wfile, pool: Optional[ProcessPoolExecutor]) -> None:
-        in_flight: Dict[Future, Dict[str, Any]] = {}
+        in_flight: Dict[Future, Worker._Grant] = {}
         draining = False
         capacity = self.jobs if pool is not None else 1
         while True:
@@ -247,7 +388,7 @@ class Worker:
             delay = 0.0
             while not draining and len(in_flight) < capacity:
                 reply = self._request(
-                    rfile, wfile, {"type": "lease"}, "work", "wait", "shutdown"
+                    rfile, wfile, self._lease_frame(), "work", "wait", "shutdown"
                 )
                 if reply["type"] == "shutdown":
                     draining = True
@@ -255,35 +396,15 @@ class Worker:
                 if reply["type"] == "wait":
                     delay = float(reply.get("delay", 0.25))
                     break
-                item = reply["item"]
-                stored = self._stored(item)
-                if stored is not None:
-                    self._upload(rfile, wfile, item, stored)
-                    continue
-                trace = self._trace_for(rfile, wfile, item)
-                spec_dict, sizes, track_per_pc = self._decode_item(item)
-                if pool is None:
-                    try:
-                        result = _simulate_spec(spec_dict, sizes, trace, track_per_pc)
-                    except Exception as error:
-                        self._report_failure(rfile, wfile, item, error)
-                        continue
-                    self._upload(rfile, wfile, item, result)
-                else:
-                    future = pool.submit(
-                        _simulate_spec, spec_dict, sizes, trace, track_per_pc
-                    )
-                    in_flight[future] = item
+                items = reply.get("items")
+                if items is None:  # single-cell grant (pre-batching shape)
+                    items = [reply["item"]]
+                if not isinstance(items, list) or not items:
+                    raise ProtocolError("work frame without items")
+                self._process_grant(rfile, wfile, items, pool, in_flight)
             # Phase 2: drain at least one finished simulation.
             if in_flight:
-                done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
-                for future in done:
-                    item = in_flight.pop(future)
-                    error = future.exception()
-                    if error is not None:
-                        self._report_failure(rfile, wfile, item, error)
-                    else:
-                        self._upload(rfile, wfile, item, future.result())
+                self._drain_one(rfile, wfile, pool, in_flight)
             elif draining:
                 return
             elif delay:
@@ -296,6 +417,8 @@ def run_worker(
     store: Union[ResultStore, str, Path, None, bool] = False,
     name: Optional[str] = None,
     connect_retry: float = 10.0,
+    batch: int = DEFAULT_BATCH_CELLS,
+    trace_cache: int = DEFAULT_TRACE_CACHE,
     log: Optional[Callable[[str], None]] = None,
 ) -> int:
     """Run one worker against ``"host:port"`` until the coordinator closes.
@@ -313,6 +436,8 @@ def run_worker(
         store=store,
         name=name,
         connect_retry=connect_retry,
+        batch=batch,
+        trace_cache=trace_cache,
         log=log,
     )
     return worker.run()

@@ -26,13 +26,19 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.predictors.base import BranchPredictor
 from repro.trace.branch import CONDITIONAL_CODE
 from repro.trace.trace import Trace
 
-__all__ = ["ENGINE_VERSION", "SimulationResult", "simulate", "supports_fast_path"]
+__all__ = [
+    "ENGINE_VERSION",
+    "SimulationResult",
+    "simulate",
+    "simulate_many",
+    "supports_fast_path",
+]
 
 #: Version of the simulation semantics.  Bump whenever a change alters the
 #: numbers :func:`simulate` produces for an unchanged (predictor, trace)
@@ -239,3 +245,172 @@ def _simulate_columns(
                 per_pc[pc] += 1
 
     return mispredictions, measured_conditional, measured_instructions, dict(per_pc)
+
+
+def simulate_many(
+    predictors: Sequence[BranchPredictor],
+    trace: Trace,
+    warmup_fraction: float = 0.0,
+    track_per_pc: bool = False,
+    use_fast_path: Optional[bool] = None,
+) -> List[SimulationResult]:
+    """Replay ``trace`` through every predictor in one traversal.
+
+    Bit-identical to ``[simulate(p, trace, ...) for p in predictors]`` --
+    the predictors are independent instances, so driving them all from one
+    pass over the columns changes nothing about what each one observes --
+    but the columnar decode, Python-level iteration and branch-kind
+    dispatch are paid once per *trace* instead of once per *(predictor,
+    trace)* cell.  This is the execution primitive of batched sweeps: the
+    suite runner, the process-pool path and the distributed workers all
+    group same-trace cells and drive them through here.
+
+    Parameters match :func:`simulate` (``warmup_fraction`` and
+    ``track_per_pc`` apply to every predictor in the batch).  The batched
+    loop needs the fast-path protocol; with ``use_fast_path=None`` a batch
+    containing any predictor without it falls back to independent
+    :func:`simulate` calls (still bit-identical, each picking its own best
+    path), ``True`` requires the fast path for the whole batch, and
+    ``False`` forces the record-based reference path throughout.
+    """
+    predictors = list(predictors)
+    if not predictors:
+        return []
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValueError(
+            f"warmup fraction must be in [0, 1), got {warmup_fraction}"
+        )
+    fast_available = all(
+        supports_fast_path(predictor, trace) for predictor in predictors
+    )
+    if use_fast_path and not fast_available:
+        missing = next(
+            predictor.name
+            for predictor in predictors
+            if not supports_fast_path(predictor, trace)
+        )
+        raise ValueError(
+            f"predictor {missing!r} does not support the fast-path "
+            "protocol (predict_update / observe_pc)"
+        )
+    batched = use_fast_path is not False and fast_available and len(predictors) > 1
+    if not batched:
+        # One predictor, a reference-path request, or a mixed batch:
+        # delegate to independent simulate() calls, each with the caller's
+        # path choice (``None`` lets every predictor pick its own best).
+        return [
+            simulate(
+                predictor,
+                trace,
+                warmup_fraction=warmup_fraction,
+                track_per_pc=track_per_pc,
+                use_fast_path=use_fast_path,
+            )
+            for predictor in predictors
+        ]
+
+    warmup_limit = int(trace.conditional_count * warmup_fraction)
+    if warmup_limit == 0 and not track_per_pc:
+        counts = _simulate_columns_batch_fast(predictors, trace)
+        measured_conditional = trace.conditional_count
+        measured_instructions = trace.instruction_count
+        per_pc_maps: List[Dict[int, int]] = [{} for _ in predictors]
+    else:
+        counts, measured_conditional, measured_instructions, per_pc_maps = (
+            _simulate_columns_batch(predictors, trace, warmup_limit, track_per_pc)
+        )
+    return [
+        SimulationResult(
+            trace_name=trace.name,
+            predictor_name=predictor.name,
+            conditional_branches=measured_conditional,
+            mispredictions=counts[index],
+            instructions=measured_instructions,
+            storage_bits=predictor.storage_bits(),
+            per_pc_mispredictions=per_pc_maps[index],
+        )
+        for index, predictor in enumerate(predictors)
+    ]
+
+
+def _simulate_columns_batch_fast(
+    predictors: Sequence[BranchPredictor], trace: Trace
+) -> List[int]:
+    """Batched hot loop: no warm-up, no per-PC tracking.
+
+    The traversal state (tuple unpack, kind test) is shared across the
+    batch; per predictor and branch only the combined-step call and the
+    misprediction compare remain.
+    """
+    pcs, targets, takens, kinds, gaps = trace.columns()
+    steps = [predictor.predict_update for predictor in predictors]
+    observes = [predictor.observe_pc for predictor in predictors]
+    conditional_code = CONDITIONAL_CODE
+    counts = [0] * len(steps)
+    for pc, target, taken, kind, gap in zip(pcs, targets, takens, kinds, gaps):
+        if kind != conditional_code:
+            for observe in observes:
+                observe(pc)
+        else:
+            index = 0
+            for step in steps:
+                if step(pc, target, taken, kind, gap) != taken:
+                    counts[index] += 1
+                index += 1
+    return counts
+
+
+def _simulate_columns_batch(
+    predictors: Sequence[BranchPredictor],
+    trace: Trace,
+    warmup_limit: int,
+    track_per_pc: bool,
+) -> tuple:
+    """Batched general loop: warm-up and/or per-PC bookkeeping.
+
+    The warm-up window is a property of the trace position, so the
+    ``seen_conditional`` counter -- and therefore the measured totals --
+    are shared by every predictor in the batch, exactly as N independent
+    :func:`simulate` calls would each compute them.
+    """
+    pcs, targets, takens, kinds, gaps = trace.columns()
+    steps = [predictor.predict_update for predictor in predictors]
+    observes = [predictor.observe_pc for predictor in predictors]
+    conditional_code = CONDITIONAL_CODE
+    counts = [0] * len(steps)
+    per_pc_maps: List[Dict[int, int]] = [defaultdict(int) for _ in steps]
+    measured_conditional = 0
+    measured_instructions = 0
+    seen_conditional = 0
+    for position in range(len(pcs)):
+        pc = pcs[position]
+        kind = kinds[position]
+        if kind != conditional_code:
+            for observe in observes:
+                observe(pc)
+            if seen_conditional >= warmup_limit:
+                measured_instructions += gaps[position] + 1
+            continue
+        taken = takens[position]
+        target = targets[position]
+        gap = gaps[position]
+        seen_conditional += 1
+        if seen_conditional <= warmup_limit:
+            for step in steps:
+                step(pc, target, taken, kind, gap)
+            continue
+        measured_conditional += 1
+        measured_instructions += gap + 1
+        index = 0
+        for step in steps:
+            if step(pc, target, taken, kind, gap) != taken:
+                counts[index] += 1
+                if track_per_pc:
+                    per_pc_maps[index][pc] += 1
+            index += 1
+    return (
+        counts,
+        measured_conditional,
+        measured_instructions,
+        [dict(per_pc) for per_pc in per_pc_maps],
+    )

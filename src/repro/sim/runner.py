@@ -44,7 +44,7 @@ from typing import (
 
 from repro.predictors.base import BranchPredictor
 from repro.predictors.composites import CompositeOptions, SizeProfile
-from repro.sim.engine import SimulationResult, simulate
+from repro.sim.engine import SimulationResult, simulate, simulate_many
 from repro.sim.metrics import average_mpki
 from repro.store import ResultStore, profile_content
 from repro.trace.trace import Trace
@@ -52,9 +52,21 @@ from repro.trace.trace import Trace
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sim must not
     from repro.api.specs import PredictorSpec  # depend on api at runtime)
 
-__all__ = ["ConfigurationRun", "ExecutionBackend", "SuiteRunner"]
+__all__ = [
+    "BatchCellError",
+    "ConfigurationRun",
+    "DEFAULT_BATCH_CELLS",
+    "ExecutionBackend",
+    "SuiteRunner",
+]
 
 PredictorFactory = Callable[[], BranchPredictor]
+
+#: Default ceiling on how many same-trace cells one batched task (or one
+#: distributed lease grant) covers.  Large enough to amortise the shared
+#: trace traversal over a typical sweep grid, small enough that an
+#: interrupted batch (or an expired worker lease) forfeits bounded work.
+DEFAULT_BATCH_CELLS = 16
 
 #: Memoisation key: (label, profile, per-PC tracking requested, registry
 #: uid, content token, traces digest).  The profile is part of the key
@@ -104,13 +116,29 @@ def _default_profile(profile: str) -> SizeProfile:
     return default_registry().resolve_profile(profile)
 
 
-def _simulate_spec(
-    spec_dict: Dict[str, object],
-    sizes: "SizeProfile",
-    trace: Trace,
-    track_per_pc: bool,
-) -> SimulationResult:
-    """Worker entry point: build a predictor from a spec dict and simulate.
+class BatchCellError(Exception):
+    """One cell of a batched task failed; the others may still be good.
+
+    Carries the failing cell's position in the batch and the original
+    error, so callers (the suite runner, the distributed worker) can
+    surface the cell's real exception and retry or report the rest.  The
+    ``(index, original)`` args keep the exception picklable across the
+    process pool.
+    """
+
+    def __init__(self, index: int, original: BaseException) -> None:
+        super().__init__(index, original)
+        self.index = index
+        self.original = original
+
+    def __str__(self) -> str:
+        return f"cell {self.index} of the batch failed: {self.original}"
+
+
+def _build_spec_predictor(
+    spec_dict: Dict[str, object], sizes: "SizeProfile"
+) -> BranchPredictor:
+    """Build a predictor from a spec's portable ``(dict, SizeProfile)`` form.
 
     The spec travels as its plain-dict form and the size profile as the
     parent-resolved :class:`SizeProfile` instance (both picklable), so the
@@ -123,8 +151,58 @@ def _simulate_spec(
     spec = PredictorSpec.from_dict(spec_dict)
     registry = Registry.with_defaults()
     registry.register_profile(str(spec.profile), sizes, overwrite=True)
-    predictor = spec.build(registry)
+    return spec.build(registry)
+
+
+def _simulate_spec(
+    spec_dict: Dict[str, object],
+    sizes: "SizeProfile",
+    trace: Trace,
+    track_per_pc: bool,
+) -> SimulationResult:
+    """Worker entry point: build a predictor from a spec dict and simulate."""
+    predictor = _build_spec_predictor(spec_dict, sizes)
     return simulate(predictor, trace, track_per_pc=track_per_pc)
+
+
+def _simulate_spec_batch(
+    entries: Sequence[Tuple[Dict[str, object], "SizeProfile"]],
+    trace: Trace,
+    track_per_pc: bool,
+) -> List[SimulationResult]:
+    """Batched worker entry point: N same-trace cells, one traversal.
+
+    ``entries`` holds one ``(spec dict, resolved SizeProfile)`` pair per
+    cell; the returned results are positionally aligned with it and
+    bit-identical to :func:`_simulate_spec` per cell.  A cell whose spec
+    fails deterministically (bad name, bad override, bad geometry) raises
+    :class:`BatchCellError` naming it, so the caller can drop that cell
+    and keep the rest of the batch.
+    """
+    predictors = []
+    for index, (spec_dict, sizes) in enumerate(entries):
+        try:
+            predictors.append(_build_spec_predictor(spec_dict, sizes))
+        except Exception as error:
+            raise BatchCellError(index, error) from error
+    try:
+        return simulate_many(predictors, trace, track_per_pc=track_per_pc)
+    except (KeyError, TypeError, ValueError, AttributeError):
+        # A deterministic failure mid-traversal cannot be attributed to a
+        # cell from here (the batch shares one loop).  Re-run the cells
+        # independently -- simulation is deterministic, so the culprit
+        # fails again, this time with its identity attached.  Fresh
+        # predictors are required: the batch traversal already mutated
+        # the original instances.
+        results = []
+        for index, (spec_dict, sizes) in enumerate(entries):
+            try:
+                results.append(
+                    _simulate_spec(spec_dict, sizes, trace, track_per_pc)
+                )
+            except Exception as error:
+                raise BatchCellError(index, error) from error
+        return results
 
 
 class ExecutionBackend:
@@ -221,6 +299,15 @@ class SuiteRunner:
         (simulated, loaded from the store, or already memoised) -- e.g. a
         :class:`~repro.common.progress.ProgressPrinter` for live sweep
         output.
+    batch:
+        Same-trace cell batching for the serial and pool execution paths
+        (:func:`~repro.sim.engine.simulate_many` drives every cell of a
+        group in one trace traversal).  ``None``/``True`` (default)
+        enables it with the :data:`DEFAULT_BATCH_CELLS` group ceiling, an
+        ``int`` caps group size explicitly, and ``False`` disables
+        batching entirely, restoring one simulation task per cell.
+        Batching never changes results, store cell keys or exported
+        bytes -- it only changes how many cells one task covers.
     """
 
     def __init__(
@@ -231,11 +318,14 @@ class SuiteRunner:
         store: Union[ResultStore, str, Path, None, bool] = None,
         backend: Union[str, "ExecutionBackend", None] = None,
         progress: Optional[Callable[[int, int], None]] = None,
+        batch: Union[bool, int, None] = None,
     ) -> None:
         if not traces:
             raise ValueError("the runner needs at least one trace")
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be positive, got {max_workers}")
+        if isinstance(batch, int) and not isinstance(batch, bool) and batch < 1:
+            raise ValueError(f"batch must be positive, got {batch}")
         if isinstance(backend, str):
             if backend not in ("serial", "pool"):
                 raise ValueError(
@@ -253,6 +343,7 @@ class SuiteRunner:
         self.store = ResultStore.resolve(store)
         self.backend = backend
         self.progress = progress
+        self.batch = batch
         #: (validity stamp, run) per key -- see ``_CacheKey``/``_CacheEntry``.
         self._cache: Dict[_CacheKey, _CacheEntry] = {}
         self._pool: Optional[ProcessPoolExecutor] = None
@@ -276,19 +367,33 @@ class SuiteRunner:
             digest.update(trace.fingerprint().encode("ascii"))
         return digest.hexdigest()
 
+    def _batch_enabled(self) -> bool:
+        """Whether same-trace cell batching is on (the default)."""
+        return self.batch is not False
+
+    def _batch_limit(self) -> int:
+        """Ceiling on cells per batched task."""
+        if isinstance(self.batch, int) and not isinstance(self.batch, bool):
+            return self.batch
+        return DEFAULT_BATCH_CELLS
+
     def _use_batch(self, units: int) -> bool:
         """Whether ``units`` independent cells go through the batch path.
 
         The batch path fans cells over the configured backend: always for
         an explicit backend object (a remote backend handles even one
-        cell), for more than one cell under ``backend="pool"``, and --
-        the ``backend=None`` default -- when ``max_workers`` configures a
-        pool.  ``backend="serial"`` never batches.
+        cell), for more than one cell under ``backend="pool"``, when the
+        ``backend=None`` default has ``max_workers`` configure a pool, and
+        -- with cell batching enabled, its default -- for more than one
+        cell even in-process, so same-trace cells share one traversal.
+        ``backend="serial"`` with ``batch=False`` never batches.
         """
         if self.backend is None:
-            return self.max_workers is not None and self.max_workers > 1 and units > 1
+            if self.max_workers is not None and self.max_workers > 1 and units > 1:
+                return True
+            return self._batch_enabled() and units > 1
         if self.backend == "serial":
-            return False
+            return self._batch_enabled() and units > 1
         if self.backend == "pool":
             return units > 1
         return units >= 1
@@ -635,6 +740,30 @@ class SuiteRunner:
             runs[label].results.extend(slots[label])
         return runs
 
+    def _group_pending(
+        self, pending: Sequence[Tuple[str, int]], use_pool: bool
+    ) -> List[Tuple[int, List[str]]]:
+        """Chunk missing cells into same-trace ``(trace index, labels)`` groups.
+
+        Cells sharing a trace share one traversal, so they are grouped by
+        trace index (order preserved) and chunked at the batch ceiling.
+        On the pool path the ceiling is additionally capped at a fair
+        share of the pending cells, so a grid over few traces still keeps
+        every worker busy instead of serialising into a few giant tasks.
+        """
+        by_trace: Dict[int, List[str]] = {}
+        for label, index in pending:
+            by_trace.setdefault(index, []).append(label)
+        limit = self._batch_limit()
+        if use_pool and self.max_workers:
+            fair = -(-len(pending) // self.max_workers)  # ceil division
+            limit = max(1, min(limit, fair))
+        groups: List[Tuple[int, List[str]]] = []
+        for index, labels in by_trace.items():
+            for start in range(0, len(labels), limit):
+                groups.append((index, labels[start:start + limit]))
+        return groups
+
     def _execute_pending(
         self,
         specs: Mapping[str, "PredictorSpec"],
@@ -644,10 +773,14 @@ class SuiteRunner:
     ) -> Iterable[Tuple[Tuple[str, int], SimulationResult]]:
         """Yield ``((label, index), result)`` for every missing cell.
 
-        Dispatches the batch to the backend object when one is set,
-        otherwise to the local process pool.  Results are yielded as they
-        become available so the caller persists completed cells
-        incrementally (an interrupted sweep keeps what finished).
+        Dispatches to the backend object when one is set; otherwise
+        same-trace cells are grouped into batched tasks (one
+        :func:`~repro.sim.engine.simulate_many` traversal per group) and
+        run in-process or across the local pool -- or, with ``batch``
+        disabled, one per-cell pool task each, the pre-batching layout.
+        Results are yielded as they become available so the caller
+        persists completed cells incrementally (an interrupted sweep
+        keeps what finished).
         """
         backend = self.backend if not isinstance(self.backend, str) else None
         if backend is not None:
@@ -676,20 +809,68 @@ class SuiteRunner:
                     )
                 yield cell, result
             return
-        pool = self._get_pool()
-        futures = {
-            pool.submit(
-                _simulate_spec,
-                specs[label].to_dict(),
-                sizes[label],
-                self.traces[index],
-                track_per_pc,
-            ): (label, index)
-            for label, index in pending
-        }
-        for future in as_completed(futures):
-            self._progress_advance()
-            yield futures[future], future.result()
+        use_pool = self.backend == "pool" or (
+            self.backend is None
+            and self.max_workers is not None
+            and self.max_workers > 1
+        )
+        if not self._batch_enabled():
+            pool = self._get_pool()
+            futures = {
+                pool.submit(
+                    _simulate_spec,
+                    specs[label].to_dict(),
+                    sizes[label],
+                    self.traces[index],
+                    track_per_pc,
+                ): (label, index)
+                for label, index in pending
+            }
+            for future in as_completed(futures):
+                self._progress_advance()
+                yield futures[future], future.result()
+            return
+        groups = self._group_pending(pending, use_pool)
+        if use_pool:
+            pool = self._get_pool()
+            batch_futures = {
+                pool.submit(
+                    _simulate_spec_batch,
+                    [(specs[label].to_dict(), sizes[label]) for label in labels],
+                    self.traces[index],
+                    track_per_pc,
+                ): (index, labels)
+                for index, labels in groups
+            }
+            for future in as_completed(batch_futures):
+                index, labels = batch_futures[future]
+                for label, result in zip(labels, self._batch_results(future.result)):
+                    self._progress_advance()
+                    yield (label, index), result
+            return
+        for index, labels in groups:
+            entries = [(specs[label].to_dict(), sizes[label]) for label in labels]
+
+            def _run(entries=entries, index=index):
+                return _simulate_spec_batch(entries, self.traces[index], track_per_pc)
+
+            for label, result in zip(labels, self._batch_results(_run)):
+                self._progress_advance()
+                yield (label, index), result
+
+    @staticmethod
+    def _batch_results(run: Callable[[], List[SimulationResult]]) -> List[SimulationResult]:
+        """Run one batched task, unwrapping a cell failure to its real error.
+
+        The runner fails the whole run on the first bad cell (as the
+        per-cell path did via ``future.result()``), so the cell's original
+        exception -- not the :class:`BatchCellError` envelope -- is what
+        callers see.
+        """
+        try:
+            return run()
+        except BatchCellError as error:
+            raise error.original from error
 
     def run_many(
         self,

@@ -1,0 +1,346 @@
+"""Batched simulation must be bit-identical to per-cell simulation.
+
+:func:`repro.sim.engine.simulate_many` (and everything layered on it: the
+suite runner's batched serial/pool paths, the distributed lease batching)
+is a pure execution-shape optimisation -- these tests pin that claim for
+every registered configuration, for warm-up and per-PC bookkeeping, and
+for the persistent store's cell keys, which must not see batching at all.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.api.experiment import Experiment
+from repro.api.registry import default_registry
+from repro.api.specs import PredictorSpec
+from repro.dist import Coordinator, protocol
+from repro.dist.worker import Worker
+from repro.predictors.simple import AlwaysTakenPredictor, BimodalPredictor
+from repro.sim.engine import ENGINE_VERSION, simulate, simulate_many
+from repro.sim.runner import DEFAULT_BATCH_CELLS, SuiteRunner
+from repro.store import ResultStore
+from repro.workloads.suites import generate_suite
+
+LENGTH = 150
+BENCHMARKS = ["SPEC2K6-00", "SPEC2K6-12"]
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return generate_suite(
+        "cbp4like", target_conditional_branches=LENGTH, benchmarks=BENCHMARKS
+    )
+
+
+def _build(name):
+    return default_registry().build(name, profile="small")
+
+
+def _assert_identical(batched, serial):
+    assert batched.trace_name == serial.trace_name
+    assert batched.predictor_name == serial.predictor_name
+    assert batched.mispredictions == serial.mispredictions
+    assert batched.conditional_branches == serial.conditional_branches
+    assert batched.instructions == serial.instructions
+    assert batched.storage_bits == serial.storage_bits
+    assert batched.per_pc_mispredictions == serial.per_pc_mispredictions
+
+
+class TestSimulateMany:
+    @pytest.mark.parametrize(
+        "warmup,track", [(0.0, False), (0.0, True), (0.3, False), (0.25, True)]
+    )
+    def test_every_registered_configuration_bit_identical(
+        self, traces, warmup, track
+    ):
+        names = default_registry().names()
+        for trace in traces:
+            batched = simulate_many(
+                [_build(name) for name in names],
+                trace,
+                warmup_fraction=warmup,
+                track_per_pc=track,
+            )
+            for name, result in zip(names, batched):
+                serial = simulate(
+                    _build(name), trace, warmup_fraction=warmup, track_per_pc=track
+                )
+                _assert_identical(result, serial)
+
+    def test_empty_batch(self, traces):
+        assert simulate_many([], traces[0]) == []
+
+    def test_single_predictor_matches_simulate(self, traces):
+        [batched] = simulate_many([_build("tage-gsc")], traces[0])
+        _assert_identical(batched, simulate(_build("tage-gsc"), traces[0]))
+
+    def test_reference_path_forced(self, traces):
+        names = ["tage-gsc", "gehl"]
+        batched = simulate_many(
+            [_build(name) for name in names], traces[0], use_fast_path=False
+        )
+        for name, result in zip(names, batched):
+            _assert_identical(
+                result, simulate(_build(name), traces[0], use_fast_path=False)
+            )
+
+    def test_mixed_batch_falls_back_per_predictor(self, traces):
+        # AlwaysTakenPredictor has no fast-path protocol, so the batch
+        # cannot share a traversal -- results must still be identical.
+        predictors = [_build("tage-gsc"), AlwaysTakenPredictor(), BimodalPredictor()]
+        batched = simulate_many(predictors, traces[0])
+        serial = [
+            simulate(p, traces[0])
+            for p in (_build("tage-gsc"), AlwaysTakenPredictor(), BimodalPredictor())
+        ]
+        for result, expected in zip(batched, serial):
+            assert result.mispredictions == expected.mispredictions
+            assert result.conditional_branches == expected.conditional_branches
+
+    def test_fast_path_required_raises_on_mixed_batch(self, traces):
+        with pytest.raises(ValueError, match="fast-path"):
+            simulate_many(
+                [_build("tage-gsc"), AlwaysTakenPredictor()],
+                traces[0],
+                use_fast_path=True,
+            )
+
+    def test_bad_warmup_fraction_rejected(self, traces):
+        with pytest.raises(ValueError):
+            simulate_many([_build("tage-gsc")], traces[0], warmup_fraction=1.0)
+
+
+def _sweep_specs():
+    base = PredictorSpec.from_named("tage-gsc+oh", profile="small")
+    return [base] + base.sweep(oh_update_delay=[7, 15, 31, 63])
+
+
+def _store_records(store_dir):
+    """key -> record, with write-time-only fields dropped."""
+    records = {}
+    for record in ResultStore(store_dir).records():
+        record = dict(record)
+        record.pop("created", None)
+        record.pop("age_seconds", None)
+        record.pop("path", None)
+        records[record["key"]] = record
+    return records
+
+
+class TestBatchedSweepPath:
+    def test_engine_version_unchanged_by_batching(self):
+        # Batching is a pure-speed change; the store folds ENGINE_VERSION
+        # into every cell key, so bumping it here would retire every
+        # stored result for no semantic reason.
+        assert ENGINE_VERSION == 1
+
+    def test_store_cells_identical_across_batch_modes(self, traces, tmp_path):
+        specs = _sweep_specs()
+        runs = {}
+        for mode, batch in (("batched", None), ("per-cell", False), ("pairs", 2)):
+            store = tmp_path / mode
+            runner = SuiteRunner(
+                traces, profile="small", store=str(store), batch=batch
+            )
+            runs[mode] = runner.run_specs(specs)
+            runner.close()
+        batched = _store_records(tmp_path / "batched")
+        per_cell = _store_records(tmp_path / "per-cell")
+        pairs = _store_records(tmp_path / "pairs")
+        assert batched.keys() == per_cell.keys() == pairs.keys()
+        assert len(batched) == len(specs) * len(traces)
+        assert batched == per_cell == pairs  # full records, not just keys
+        for mode in ("per-cell", "pairs"):
+            for label, run in runs[mode].items():
+                for ours, theirs in zip(run.results, runs["batched"][label].results):
+                    _assert_identical(ours, theirs)
+
+    def test_experiment_exports_identical_across_batch_modes(self, traces):
+        specs = _sweep_specs()
+        outputs = []
+        for batch in (None, False, 3):
+            results = Experiment(
+                specs, traces=traces, profile="small", store=False, batch=batch
+            ).run(baseline=specs[0])
+            outputs.append((results.to_json(), results.to_csv()))
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_batched_pool_matches_serial(self, traces):
+        specs = _sweep_specs()
+        serial = SuiteRunner(traces, profile="small").run_specs(specs)
+        pooled_runner = SuiteRunner(traces, profile="small", max_workers=2)
+        try:
+            pooled = pooled_runner.run_specs(specs)
+        finally:
+            pooled_runner.close()
+        for label in serial:
+            for ours, theirs in zip(serial[label].results, pooled[label].results):
+                _assert_identical(ours, theirs)
+
+    def test_bad_cell_in_batch_surfaces_its_own_error(self, traces):
+        good = PredictorSpec.from_named("tage-gsc", profile="small")
+        bad = PredictorSpec.from_named(
+            "tage-gsc", profile="small", label="bad", nonsense_knob=1
+        )
+        runner = SuiteRunner([traces[0]], profile="small")
+        # The per-cell path raises ValueError for an unknown override;
+        # the batched path must surface the same error, not a batch
+        # envelope around it.
+        with pytest.raises(ValueError, match="nonsense_knob"):
+            runner.run_specs([good, bad])
+
+    def test_batch_validation(self, traces):
+        with pytest.raises(ValueError):
+            SuiteRunner(traces, batch=0)
+
+
+class TestDistBatching:
+    def test_lease_grant_has_trace_affinity(self, traces):
+        specs = _sweep_specs()
+        with Coordinator() as coordinator:
+            job = coordinator.submit(specs, traces)
+            state, cells = coordinator._lease(owner=1, max_cells=len(specs))
+            assert state == "work"
+            # Only same-trace cells travel in one grant, and with five
+            # pending specs on the first trace the grant holds all five.
+            assert len(cells) == len(specs)
+            assert len({cell.trace_fingerprint for cell in cells}) == 1
+            assert job.total == len(specs) * len(traces)
+
+    def test_lease_grant_respects_coordinator_cap(self, traces):
+        with Coordinator(batch=2) as coordinator:
+            coordinator.submit(_sweep_specs(), traces)
+            state, cells = coordinator._lease(owner=1, max_cells=64)
+            assert state == "work"
+            assert len(cells) == 2
+
+    def test_plain_lease_still_single_cell(self, traces):
+        with Coordinator() as coordinator:
+            coordinator.submit(_sweep_specs(), traces)
+            state, cells = coordinator._lease(owner=1)
+            assert state == "work"
+            assert len(cells) == 1
+
+    def test_batched_grant_scales_lease_deadline(self, traces):
+        # An N-cell grant uploads only after ~N cells of shared traversal,
+        # so each cell's lease must get N * lease_timeout -- otherwise
+        # every batched grant of cells near the single-cell budget would
+        # systematically expire and be re-simulated elsewhere.
+        import time as _time
+
+        with Coordinator(lease_timeout=10.0) as coordinator:
+            coordinator.submit(_sweep_specs(), traces)
+            before = _time.monotonic()
+            state, cells = coordinator._lease(owner=1, max_cells=5)
+            assert state == "work" and len(cells) == 5
+            for cell in cells:
+                _, deadline = coordinator._leases[cell.cell_id]
+                assert deadline - before >= 10.0 * len(cells) - 1.0
+            # A plain lease keeps the per-cell timeout.
+            state, single = coordinator._lease(owner=2)
+            assert state == "work" and len(single) == 1
+            _, deadline = coordinator._leases[single[0].cell_id]
+            assert deadline - before < 10.0 * 2
+
+    def test_batched_workers_bit_identical_to_serial(self, traces):
+        import threading
+
+        specs = _sweep_specs()
+        serial = Experiment(specs, traces=traces, profile="small", store=False).run()
+        with Coordinator() as coordinator:
+            host, port = coordinator.address
+            job = coordinator.submit(specs, traces)
+            workers = [
+                Worker(host, port, name=f"batch-worker-{i}", batch=3)
+                for i in range(2)
+            ]
+            threads = [
+                threading.Thread(target=worker.run, daemon=True)
+                for worker in workers
+            ]
+            for thread in threads:
+                thread.start()
+            assert job.wait(60), "batched workers did not finish the sweep"
+            runs = job.runs()
+        for spec in specs:
+            for ours, theirs in zip(
+                runs[spec.label].results, serial.run_for(spec.label).results
+            ):
+                _assert_identical(ours, theirs)
+
+
+class TestWorkerTraceCache:
+    def _frame_bytes(self, frame):
+        buffer = io.BytesIO()
+        protocol.write_frame(buffer, frame)
+        return buffer.getvalue()
+
+    def test_decoded_traces_are_lru_bounded(self, traces):
+        extra = generate_suite(
+            "cbp4like", target_conditional_branches=LENGTH,
+            benchmarks=["SPEC2K6-04"],
+        )
+        worker = Worker("127.0.0.1", 1, trace_cache=2)
+        all_traces = list(traces) + extra
+        for trace in all_traces:
+            rfile = io.BytesIO(
+                self._frame_bytes(
+                    {
+                        "type": "trace",
+                        "fingerprint": trace.fingerprint(),
+                        "data": protocol.encode_trace(trace),
+                    }
+                )
+            )
+            worker._trace_for(rfile, io.BytesIO(), {"trace": trace.fingerprint()})
+        assert len(worker._traces) == 2
+        # Least recently used (the first trace) was evicted ...
+        assert all_traces[0].fingerprint() not in worker._traces
+        # ... and the survivors are the two most recent.
+        assert list(worker._traces) == [
+            trace.fingerprint() for trace in all_traces[-2:]
+        ]
+
+    def test_cache_hit_refreshes_recency(self, traces):
+        worker = Worker("127.0.0.1", 1, trace_cache=2)
+        for trace in traces:
+            worker._traces[trace.fingerprint()] = trace
+        # Touch the older entry through the cache path (no fetch needed).
+        worker._trace_for(None, None, {"trace": traces[0].fingerprint()})
+        assert list(worker._traces)[-1] == traces[0].fingerprint()
+
+    def test_trace_cache_validation(self):
+        with pytest.raises(ValueError):
+            Worker("127.0.0.1", 1, trace_cache=0)
+        with pytest.raises(ValueError):
+            Worker("127.0.0.1", 1, batch=0)
+
+
+class TestBatchCLI:
+    def test_sweep_no_batch_output_identical(self, tmp_path, capsys):
+        from repro.cli import main
+
+        args = [
+            "sweep", "--base", "tage-gsc+oh", "--param", "oh_update_delay=0,63",
+            "--benchmarks", "SPEC2K6-00", "--length", "120", "--profile", "small",
+        ]
+        default_json = tmp_path / "default.json"
+        nobatch_json = tmp_path / "nobatch.json"
+        assert main(args + ["--json", str(default_json)]) == 0
+        assert main(args + ["--no-batch", "--json", str(nobatch_json)]) == 0
+        capsys.readouterr()
+        assert default_json.read_text() == nobatch_json.read_text()
+
+    def test_batch_flags_are_mutually_exclusive(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "--base", "tage-gsc", "--batch", "4", "--no-batch"]
+            )
+
+    def test_default_batch_constant_sane(self):
+        assert DEFAULT_BATCH_CELLS >= 2
