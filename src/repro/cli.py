@@ -43,8 +43,10 @@ import argparse
 import dataclasses
 import json
 import shlex
+import signal
 import sys
 import time
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.experiments import experiment_ids, run_experiment
@@ -66,6 +68,11 @@ from repro.workloads.suites import (
 #: Default TCP port of ``repro serve`` (workers and submitters default to it).
 DEFAULT_PORT = 4780
 
+#: Distinct exit codes for the failures an operator scripts around:
+#: 2 stays argparse/usage errors, 130 stays SIGINT.
+EXIT_BIND_FAILURE = 3  # `repro serve` could not bind its listen port
+EXIT_UNREACHABLE = 4  # `repro worker` never reached a coordinator
+
 __all__ = ["build_parser", "main"]
 
 
@@ -73,6 +80,13 @@ def _positive_int(value: str) -> int:
     parsed = int(value)
     if parsed < 1:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return parsed
+
+
+def _non_negative_float(value: str) -> float:
+    parsed = float(value)
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(f"must be non-negative, got {value}")
     return parsed
 
 
@@ -238,7 +252,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--lease-timeout", type=float, default=120.0, metavar="SECONDS",
         help="requeue a leased cell when no result arrives within this time "
-             "(default: 120)",
+             "(default: 120; renewing workers extend their leases by "
+             "heartbeat, so this bounds crash detection, not cell runtime)",
+    )
+    serve.add_argument(
+        "--journal", nargs="?", const="", default=None, metavar="PATH",
+        help="crash-safe journal of admitted jobs: a restarted "
+             "`repro serve --journal` re-admits unfinished jobs and, with a "
+             "store, resumes exactly where the crash left off (bare flag "
+             "derives PATH as journal.jsonl inside --store)",
+    )
+    serve.add_argument(
+        "--max-lease-losses", type=_positive_int, default=3, metavar="N",
+        help="quarantine a cell after its lease is lost N times instead of "
+             "requeueing it forever (default: 3)",
     )
     _add_grid_arguments(serve, require_base=False)
     _add_suite_arguments(serve)
@@ -265,6 +292,12 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument(
         "--connect-retry", type=float, default=10.0, metavar="SECONDS",
         help="keep retrying the initial connect for this long (default: 10)",
+    )
+    worker.add_argument(
+        "--reconnect", type=_non_negative_float, default=None, metavar="SECONDS",
+        help="after an abrupt connection loss, keep reconnecting (capped "
+             "jittered exponential backoff) for this long before giving up "
+             "(default: 30; 0 exits on first disconnect)",
     )
     _add_batch_arguments(worker)
     _add_store_argument(worker)
@@ -680,6 +713,19 @@ def _command_serve(args: argparse.Namespace) -> int:
     if args.base is None and args.param:
         print("--param needs --base", file=sys.stderr)
         return 2
+    journal_path = None
+    if args.journal is not None:
+        if args.journal:
+            journal_path = args.journal
+        elif store is not None:
+            journal_path = str(Path(store.root) / "journal.jsonl")
+        else:
+            print(
+                "--journal without PATH needs a store to put journal.jsonl "
+                "in: pass --store DIR (or --journal PATH)",
+                file=sys.stderr,
+            )
+            return 2
     try:
         coordinator = Coordinator(
             host=args.host,
@@ -687,6 +733,8 @@ def _command_serve(args: argparse.Namespace) -> int:
             store=store if store is not None else False,
             lease_timeout=args.lease_timeout,
             batch=_grant_limit(args),
+            journal=journal_path,
+            max_lease_losses=args.max_lease_losses,
             progress=ProgressPrinter("serve") if args.progress else None,
             log=_log_stderr,
         )
@@ -697,7 +745,13 @@ def _command_serve(args: argparse.Namespace) -> int:
         coordinator.start()
     except OSError as error:
         print(f"cannot listen on {args.host}:{args.port}: {error}", file=sys.stderr)
-        return 2
+        return EXIT_BIND_FAILURE
+    if coordinator.recovered_jobs:
+        print(
+            f"journal recovery: re-admitted {len(coordinator.recovered_jobs)} "
+            "unfinished job(s)",
+            file=sys.stderr,
+        )
     try:
         if args.base is None:
             # Idle service: accept `repro submit` jobs until Ctrl-C.
@@ -748,25 +802,50 @@ def _command_serve(args: argparse.Namespace) -> int:
 
 
 def _command_worker(args: argparse.Namespace) -> int:
-    from repro.dist import ProtocolError, run_worker
+    from repro.dist import CoordinatorUnreachable, ProtocolError
+    from repro.dist.worker import DEFAULT_RECONNECT, make_worker
 
     store = _resolve_store(args.store)
     try:
-        completed = run_worker(
+        worker = make_worker(
             args.connect,
             jobs=args.jobs,
             store=store if store is not None else False,
             name=args.name,
             connect_retry=args.connect_retry,
+            reconnect=(
+                args.reconnect if args.reconnect is not None else DEFAULT_RECONNECT
+            ),
             batch=_grant_limit(args),
             log=_log_stderr,
         )
+    except ValueError as error:
+        print(f"worker failed: {_error_message(error)}", file=sys.stderr)
+        return 2
+
+    # SIGTERM (the fleet manager's stop signal) drains: finish and upload
+    # everything in flight, lease nothing new, exit 0.
+    def _drain(signum, frame):
+        print(
+            "worker received SIGTERM; draining in-flight work before exiting",
+            file=sys.stderr,
+        )
+        worker.request_stop()
+
+    previous = signal.signal(signal.SIGTERM, _drain)
+    try:
+        completed = worker.run()
     except KeyboardInterrupt:
         print("\nworker stopped; leased cells will be requeued.", file=sys.stderr)
         return 130
+    except CoordinatorUnreachable as error:
+        print(f"worker failed: {_error_message(error)}", file=sys.stderr)
+        return EXIT_UNREACHABLE
     except (OSError, ProtocolError, ValueError) as error:
         print(f"worker failed: {_error_message(error)}", file=sys.stderr)
         return 1
+    finally:
+        signal.signal(signal.SIGTERM, previous)
     print(f"completed {completed} cell(s)", file=sys.stderr)
     return 0
 

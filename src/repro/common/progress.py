@@ -7,14 +7,18 @@ rate-limited so tight loops do not flood the terminal.
 
 The printer is a plain callable ``(done, total)`` so it plugs directly
 into :class:`repro.sim.runner.SuiteRunner`'s ``progress`` hook and the
-coordinator's per-cell completion callback.
+coordinator's per-cell completion callback.  Callers that have more to
+tell -- the distributed path tracks requeued, retried and quarantined
+cells -- detect the ``stats_aware`` class attribute and pass a ``stats``
+mapping too; nonzero counters are appended to the line (``[requeued 2,
+quarantined 1]``) so a degraded run is visible while it happens.
 """
 
 from __future__ import annotations
 
 import sys
 import time
-from typing import Optional, TextIO
+from typing import Mapping, Optional, TextIO
 
 __all__ = ["ProgressPrinter"]
 
@@ -31,8 +35,16 @@ class ProgressPrinter:
         pytest's capture sees it).
     min_interval:
         Seconds between printed updates; completions arriving faster are
-        coalesced.  The first and the final update always print.
+        coalesced.  The first and the final update always print, and so
+        does any change in the fault-tolerance stats.
     """
+
+    #: Callers (the dist client/coordinator) check this to know they may
+    #: pass the ``stats`` keyword; plain ``(done, total)`` calls work too.
+    stats_aware = True
+
+    #: Stat keys rendered, in display order.
+    _STAT_KEYS = ("requeued", "retried", "quarantined")
 
     def __init__(
         self,
@@ -46,18 +58,28 @@ class ProgressPrinter:
         self._started: Optional[float] = None
         self._last_printed: float = 0.0
         self._last_done: int = -1
+        self._last_stats: tuple = ()
 
-    def __call__(self, done: int, total: int) -> None:
+    def __call__(
+        self, done: int, total: int, stats: Optional[Mapping[str, int]] = None
+    ) -> None:
         now = time.monotonic()
         if self._started is None:
             self._started = now
-        if (
+        rendered = tuple(
+            (key, int(stats[key]))
+            for key in self._STAT_KEYS
+            if stats and stats.get(key)
+        )
+        stats_changed = rendered != self._last_stats
+        if not stats_changed and (
             done == self._last_done
             or (done < total and now - self._last_printed < self.min_interval)
         ):
             return
         self._last_printed = now
         self._last_done = done
+        self._last_stats = rendered
         elapsed = max(now - self._started, 1e-9)
         rate = done / elapsed
         if 0 < done < total and rate > 0:
@@ -67,10 +89,13 @@ class ProgressPrinter:
         else:
             eta = "ETA n/a"
         percent = 100.0 * done / total if total else 100.0
+        suffix = ""
+        if rendered:
+            suffix = " [" + ", ".join(f"{key} {count}" for key, count in rendered) + "]"
         stream = self.stream if self.stream is not None else sys.stderr
         print(
             f"{self.label}: {done}/{total} cells ({percent:.0f}%), "
-            f"{rate:.1f} cells/s, {eta}",
+            f"{rate:.1f} cells/s, {eta}{suffix}",
             file=stream,
         )
         stream.flush()

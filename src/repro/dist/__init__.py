@@ -26,11 +26,14 @@ See ``docs/DISTRIBUTED.md`` for the architecture and protocol reference.
 
 from repro.dist.client import DistBackend, submit_sweep
 from repro.dist.coordinator import Coordinator, JobFailed, SweepJob
+from repro.dist.journal import CoordinatorJournal
 from repro.dist.protocol import PROTOCOL_VERSION, ProtocolError
-from repro.dist.worker import Worker, run_worker
+from repro.dist.worker import CoordinatorUnreachable, Worker, run_worker
 
 __all__ = [
     "Coordinator",
+    "CoordinatorJournal",
+    "CoordinatorUnreachable",
     "DistBackend",
     "JobFailed",
     "PROTOCOL_VERSION",

@@ -1,0 +1,211 @@
+"""Fault injection for the distributed sweep path.
+
+The dist code is littered with *named fault points* -- places where, in
+production, the process crashes, the network drops, or a frame gets
+mangled.  This module turns each of those points into something a test
+(or a CI chaos job) can trigger on demand, so the fault-tolerance
+machinery (lease renewal, requeue, quarantine, the coordinator journal,
+worker reconnect) is exercised against *real* injected faults rather
+than hand-mocked ones.
+
+When no faults are configured -- the overwhelmingly common case -- every
+fault point is a single attribute check (``_FAULTS is None``), so the
+harness costs nothing on production paths.
+
+Configuration comes from the ``REPRO_CHAOS`` environment variable (so it
+reaches ``repro worker`` subprocesses and their pool children without
+any plumbing) or programmatically via :func:`configure` in tests::
+
+    REPRO_CHAOS="worker.simulate.kill:1:1,worker.upload.corrupt:0.5"
+
+Each comma-separated entry is ``point[:probability[:limit[:value]]]``:
+
+``point``
+    One of the :data:`FAULT_POINTS` names below.
+``probability``
+    Chance in [0, 1] that an *ask* fires the fault (default 1).  Draws
+    come from a dedicated RNG seeded by ``REPRO_CHAOS_SEED`` (default 0)
+    so chaos runs are reproducible.
+``limit``
+    Maximum number of firings, per process (default 0 = unlimited).
+    ``worker.simulate.kill:1:1`` kills the worker exactly once.
+``value``
+    Fault-specific float parameter -- seconds for the ``delay`` faults,
+    ignored elsewhere.
+
+The points (all on the worker, where faults physically originate):
+
+========================== ==================================================
+``worker.lease.drop``      drop the TCP connection right after a work grant
+                           (the coordinator must requeue the leased cells)
+``worker.frame.delay``     sleep ``value`` seconds before sending a frame
+                           (a slow network between worker and coordinator)
+``worker.simulate.delay``  sleep ``value`` seconds mid-simulation (a slow
+                           cell; heartbeat renewal must keep its lease)
+``worker.simulate.kill``   hard-exit the worker process mid-simulation
+                           (``os._exit``; nothing is flushed or uploaded)
+``worker.upload.corrupt``  mangle the bytes of a result frame on the wire
+                           (the coordinator must reject it and requeue)
+``worker.upload.duplicate`` send a result frame twice (the second upload
+                           must be acknowledged but ignored)
+========================== ==================================================
+
+Faults deliberately produce only *recoverable* damage: every one of them
+maps to a failure mode the service guarantees to survive with
+bit-identical results (``tests/test_dist_chaos.py`` asserts exactly
+that).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = [
+    "FAULT_POINTS",
+    "active",
+    "configure",
+    "delay",
+    "kill_process",
+    "should",
+]
+
+ENV_VAR = "REPRO_CHAOS"
+SEED_ENV_VAR = "REPRO_CHAOS_SEED"
+
+#: Every fault point the dist code compiles in.  ``configure`` rejects
+#: unknown names so a typo in a CI job fails loudly instead of silently
+#: injecting nothing.
+FAULT_POINTS = frozenset(
+    {
+        "worker.lease.drop",
+        "worker.frame.delay",
+        "worker.simulate.delay",
+        "worker.simulate.kill",
+        "worker.upload.corrupt",
+        "worker.upload.duplicate",
+    }
+)
+
+
+@dataclass
+class _Fault:
+    point: str
+    probability: float = 1.0
+    limit: int = 0  # 0 = unlimited
+    value: float = 0.0
+    fired: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def ask(self, rng: random.Random) -> bool:
+        """One atomic should-this-fault-fire decision."""
+        with self._lock:
+            if self.limit and self.fired >= self.limit:
+                return False
+            if self.probability < 1.0 and rng.random() >= self.probability:
+                return False
+            self.fired += 1
+            return True
+
+
+#: ``None`` when chaos is off -- the fast-path check every fault point makes.
+_FAULTS: Optional[Dict[str, _Fault]] = None
+_RNG = random.Random(0)
+_LOADED_FROM_ENV = False
+
+
+def _parse(spec: str) -> Dict[str, _Fault]:
+    faults: Dict[str, _Fault] = {}
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        parts = chunk.split(":")
+        point = parts[0].strip()
+        if point not in FAULT_POINTS:
+            raise ValueError(
+                f"unknown chaos fault point {point!r}; "
+                f"known: {', '.join(sorted(FAULT_POINTS))}"
+            )
+        try:
+            probability = float(parts[1]) if len(parts) > 1 and parts[1] else 1.0
+            limit = int(parts[2]) if len(parts) > 2 and parts[2] else 0
+            value = float(parts[3]) if len(parts) > 3 and parts[3] else 0.0
+        except ValueError as error:
+            raise ValueError(f"malformed chaos entry {chunk!r}: {error}") from None
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"chaos probability must be in [0, 1], got {chunk!r}")
+        faults[point] = _Fault(point, probability, limit, value)
+    return faults
+
+
+def configure(spec: Optional[str], seed: int = 0) -> None:
+    """Install a chaos configuration (``None``/empty turns chaos off).
+
+    Replaces any previous configuration and resets all firing counters;
+    tests call this directly, production processes inherit the same via
+    ``REPRO_CHAOS``.
+    """
+    global _FAULTS, _RNG
+    faults = _parse(spec) if spec else {}
+    _FAULTS = faults or None
+    _RNG = random.Random(seed)
+
+
+def _load_env() -> None:
+    global _LOADED_FROM_ENV
+    if _LOADED_FROM_ENV:
+        return
+    _LOADED_FROM_ENV = True
+    spec = os.environ.get(ENV_VAR)
+    if spec:
+        configure(spec, seed=int(os.environ.get(SEED_ENV_VAR, "0") or "0"))
+
+
+def active() -> bool:
+    """Whether any fault is configured (cheap; safe to call anywhere)."""
+    _load_env()
+    return _FAULTS is not None
+
+
+def should(point: str) -> bool:
+    """Whether the fault at ``point`` fires right now.
+
+    The call site implements the fault itself (drop, kill, corrupt, ...);
+    this only answers the question and does the bookkeeping.
+    """
+    _load_env()
+    if _FAULTS is None:
+        return False
+    fault = _FAULTS.get(point)
+    return fault is not None and fault.ask(_RNG)
+
+
+def fault_value(point: str, default: float = 0.0) -> float:
+    """The configured ``value`` parameter of ``point`` (delays etc.)."""
+    if _FAULTS is None:
+        return default
+    fault = _FAULTS.get(point)
+    return fault.value if fault is not None else default
+
+
+def delay(point: str) -> None:
+    """Sleep the configured duration when the delay fault at ``point`` fires."""
+    if should(point):
+        import time
+
+        time.sleep(fault_value(point))
+
+
+def kill_process(point: str) -> None:
+    """Hard-exit the process (``os._exit(137)``) when ``point`` fires.
+
+    ``os._exit`` skips atexit handlers, buffered I/O and ``finally``
+    blocks -- exactly what a SIGKILL'd worker looks like to the rest of
+    the system.
+    """
+    if should(point):
+        os._exit(137)

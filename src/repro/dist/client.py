@@ -16,11 +16,13 @@ Two entry points:
 
 from __future__ import annotations
 
+import random
+import time
 from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.api.specs import PredictorSpec
 from repro.dist import protocol
-from repro.dist.protocol import ProtocolError
+from repro.dist.protocol import ConnectionClosed, ProtocolError
 from repro.predictors.composites import SizeProfile
 from repro.sim.engine import SimulationResult
 from repro.store import result_from_dict
@@ -43,6 +45,23 @@ def parse_address(address: Union[str, Tuple[str, int]]) -> Tuple[str, int]:
     return host, int(port_text)
 
 
+def _notify(progress, done: int, total: int, frame: Dict[str, Any]) -> None:
+    """Invoke a progress callable, forwarding requeued/retried/quarantined
+    stats to callables that declare ``stats_aware`` (duck-typed so plain
+    ``(done, total)`` callables keep working unchanged)."""
+    if progress is None:
+        return
+    if getattr(progress, "stats_aware", False):
+        stats = {
+            key: int(frame[key])
+            for key in ("requeued", "retried", "quarantined")
+            if isinstance(frame.get(key), int)
+        }
+        progress(done, total, stats=stats or None)
+    else:
+        progress(done, total)
+
+
 def submit_cells(
     address: Union[str, Tuple[str, int]],
     entries: Sequence[Dict[str, Any]],
@@ -51,6 +70,7 @@ def submit_cells(
     cells: Optional[Sequence[Tuple[str, int]]] = None,
     progress: Optional[Callable[[int, int], None]] = None,
     timeout: Optional[float] = None,
+    submit_retry: float = 10.0,
 ) -> CellResults:
     """Low-level submit: pre-resolved spec entries, explicit traces.
 
@@ -58,7 +78,15 @@ def submit_cells(
     protocol defines them; ``cells`` optionally restricts the job to a
     subset of ``(label, trace index)`` pairs.  Blocks until the job
     settles; raises ``RuntimeError`` when the coordinator reports a
-    failure and :class:`ProtocolError` on wire trouble.
+    failure (including quarantined cells, each with its attributed error)
+    and :class:`ProtocolError` on wire trouble.
+
+    Transient connect/submit failures -- the coordinator not yet
+    listening, or restarting -- are retried with jittered backoff for up
+    to ``submit_retry`` seconds until the job is *accepted*.  After
+    acceptance there is nothing safe to retry into (resubmitting would
+    start a second job), so wire trouble then surfaces to the caller,
+    whose store-backed ``--resume`` is the recovery path.
     """
     host, port = parse_address(address)
     frame: Dict[str, Any] = {
@@ -70,27 +98,32 @@ def submit_cells(
     }
     if cells is not None:
         frame["cells"] = [[label, index] for label, index in cells]
-    sock = protocol.connect(host, port, timeout=timeout)
-    rfile = sock.makefile("rb")
-    wfile = sock.makefile("wb")
+    sock, rfile, wfile, accepted = _submit_until_accepted(
+        host, port, frame, timeout, submit_retry
+    )
     try:
-        protocol.write_frame(wfile, frame)
-        accepted = protocol.expect(protocol.read_frame(rfile), "accepted")
         total = int(accepted.get("total", 0))
-        if progress is not None:
-            progress(int(accepted.get("done", 0)), total)
+        _notify(progress, int(accepted.get("done", 0)), total, accepted)
         while True:
             reply = protocol.expect(
                 protocol.read_frame(rfile), "progress", "job_done"
             )
             if reply["type"] == "progress":
-                if progress is not None:
-                    progress(int(reply.get("done", 0)), total)
+                _notify(progress, int(reply.get("done", 0)), total, reply)
                 continue
             if "error" in reply:
                 raise RuntimeError(f"distributed sweep failed: {reply['error']}")
-            if progress is not None:
-                progress(int(reply.get("done", 0)), total)
+            _notify(progress, int(reply.get("done", 0)), total, reply)
+            quarantined = reply.get("quarantined_cells")
+            if quarantined:
+                details = "; ".join(
+                    f"({cell.get('label')}, {cell.get('index')}): {cell.get('error')}"
+                    for cell in quarantined
+                )
+                raise RuntimeError(
+                    f"distributed sweep failed: {len(quarantined)} cell(s) "
+                    f"quarantined -- {details}"
+                )
             results: CellResults = {}
             for cell in reply.get("cells", []):
                 try:
@@ -111,6 +144,53 @@ def submit_cells(
             pass
 
 
+def _submit_until_accepted(
+    host: str,
+    port: int,
+    frame: Dict[str, Any],
+    timeout: Optional[float],
+    submit_retry: float,
+):
+    """Connect and submit until an ``accepted`` frame arrives.
+
+    Each attempt is a fresh connection, so a half-delivered submit frame
+    on a dying socket is simply abandoned -- the coordinator only admits
+    (and journals) a job whose submit frame parsed completely, so retrying
+    can never double-admit.
+    """
+    deadline = time.monotonic() + max(0.0, float(submit_retry))
+    delay = 0.05
+    while True:
+        sock = None
+        rfile = wfile = None
+        try:
+            sock = protocol.connect(host, port, timeout=timeout)
+            rfile = sock.makefile("rb")
+            wfile = sock.makefile("wb")
+            protocol.write_frame(wfile, frame)
+            accepted = protocol.expect(protocol.read_frame(rfile), "accepted")
+            return sock, rfile, wfile, accepted
+        except (OSError, ConnectionClosed) as error:
+            for stream in (wfile, rfile):
+                if stream is not None:
+                    try:
+                        stream.close()
+                    except OSError:
+                        pass
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            if time.monotonic() >= deadline:
+                raise ConnectionError(
+                    f"cannot submit to coordinator at {host}:{port} "
+                    f"within {submit_retry:.0f}s: {error}"
+                ) from None
+            time.sleep(delay * (0.5 + random.random()))
+            delay = min(delay * 2, 2.0)
+
+
 def submit_sweep(
     address: Union[str, Tuple[str, int]],
     specs: Sequence[PredictorSpec],
@@ -119,6 +199,7 @@ def submit_sweep(
     registry=None,
     progress: Optional[Callable[[int, int], None]] = None,
     timeout: Optional[float] = None,
+    submit_retry: float = 10.0,
 ) -> CellResults:
     """Submit a sweep of :class:`PredictorSpec` over ``traces``.
 
@@ -144,6 +225,7 @@ def submit_sweep(
     return submit_cells(
         address, entries, traces,
         track_per_pc=track_per_pc, progress=progress, timeout=timeout,
+        submit_retry=submit_retry,
     )
 
 

@@ -11,16 +11,32 @@ done.
 Fault tolerance is lease-based: a leased cell that neither completes nor
 renews within ``lease_timeout`` seconds goes back to the front of the
 queue, and all cells leased by a connection are requeued the moment that
-connection dies.  A cell may therefore be simulated twice in rare races
--- results are deterministic, the first upload wins, and later duplicates
-are acknowledged but ignored, so nothing is lost and nothing is counted
-twice.
+connection dies.  Workers that understand renewal (the ``welcome`` frame
+advertises it) send ``renew`` heartbeats while simulating, so a slow
+cell's lease stays alive as long as its worker is -- requeue becomes a
+*liveness* decision instead of an operator-guessed timeout race.  A cell
+may still be simulated twice in rare races -- results are deterministic,
+the first upload wins, and later duplicates are acknowledged but
+ignored, so nothing is lost and nothing is counted twice.
+
+A cell whose lease is lost ``max_lease_losses`` times (worker death or
+expiry; default 3) is **quarantined** instead of requeued forever: the
+job settles with that cell's attributed error while every unrelated
+cell still completes.  This turns a poison cell -- one that reliably
+kills whatever worker touches it -- from an infinite crash-loop into a
+reported failure.
 
 With a :class:`~repro.store.ResultStore` attached, cells already present
 in the store are completed without ever being leased (checked at admit
 time *and* again at lease time, so concurrent writers sharing the store
 are honoured), and every uploaded result is persisted -- a killed
-distributed sweep resumes exactly like ``repro sweep --resume``.
+distributed sweep resumes exactly like ``repro sweep --resume``.  With a
+:class:`~repro.dist.journal.CoordinatorJournal` attached as well, the
+*jobs themselves* survive a coordinator crash: admitted jobs are
+journalled durably before any cell is served, and a restarted
+coordinator re-admits every unsettled one (leases treated as expired,
+store-hits skipped as usual), so recovery is byte-identical to an
+uninterrupted run.
 """
 
 from __future__ import annotations
@@ -35,6 +51,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.api.specs import PredictorSpec
 from repro.dist import protocol
+from repro.dist.journal import CoordinatorJournal
 from repro.dist.protocol import ProtocolError
 from repro.predictors.composites import CompositeOptions
 from repro.sim.engine import SimulationResult
@@ -62,6 +79,10 @@ class _Cell:
     trace_fingerprint: str
     trace_name: str
     store_key: Optional[str]
+    #: Times this cell's lease was lost (expiry or worker death), with a
+    #: human-readable reason per loss -- the quarantine retry budget.
+    losses: int = 0
+    loss_log: List[str] = field(default_factory=list)
 
     def work_item(self) -> Dict[str, Any]:
         """The ``work`` frame payload workers receive."""
@@ -90,12 +111,26 @@ class SweepJob:
     error: Optional[str] = None
     #: ``slots[label][index]`` is the cell's result once completed.
     slots: Dict[str, List[Optional[SimulationResult]]] = field(default_factory=dict)
+    #: Poison cells: ``(label, trace index) -> attributed error``.  The
+    #: job settles with these missing instead of requeueing them forever.
+    quarantined: Dict[Tuple[str, int], str] = field(default_factory=dict)
+    #: Degradation counters surfaced via progress frames / hooks.
+    requeued: int = 0
+    retried: int = 0
     _event: threading.Event = field(default_factory=threading.Event, repr=False)
 
     @property
     def finished(self) -> bool:
-        """Whether the job is settled (all cells done, or failed)."""
+        """Whether the job is settled (all cells done/quarantined, or failed)."""
         return self._event.is_set()
+
+    def stats(self) -> Dict[str, int]:
+        """Degradation counters (for progress displays and frames)."""
+        return {
+            "requeued": self.requeued,
+            "retried": self.retried,
+            "quarantined": len(self.quarantined),
+        }
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until the job settles; ``False`` on timeout."""
@@ -118,6 +153,15 @@ class SweepJob:
         """
         if self.error is not None:
             raise JobFailed(self.error)
+        if self.quarantined:
+            details = "; ".join(
+                f"({label}, trace {index}): {message}"
+                for (label, index), message in sorted(self.quarantined.items())
+            )
+            raise JobFailed(
+                f"job {self.job_id}: {len(self.quarantined)} cell(s) "
+                f"quarantined -- {details}"
+            )
         runs: Dict[str, ConfigurationRun] = {}
         for label in self.labels:
             results = self.slots[label]
@@ -145,8 +189,23 @@ class Coordinator:
         Optional shared :class:`ResultStore`: already-present cells are
         never dispatched, uploaded results are persisted.
     lease_timeout:
-        Seconds a leased cell may stay unfinished before it is requeued
-        for another worker.
+        Seconds a leased cell may stay unfinished **without renewal**
+        before it is requeued for another worker.  Renewing workers
+        heartbeat well inside this, so for them it bounds how long a
+        *dead* worker's cells stay stranded, not how long a cell may run.
+    journal:
+        Optional :class:`~repro.dist.journal.CoordinatorJournal` (or a
+        path for one): admitted jobs are journalled durably and
+        re-admitted by :meth:`start` after a crash (see
+        :attr:`recovered_jobs`).
+    max_lease_losses:
+        Lease losses (expiry or worker death) a cell may suffer before
+        it is quarantined with an attributed error instead of requeued.
+    conn_idle_timeout:
+        Seconds a connection may stay completely silent before it is
+        presumed half-open and dropped (its leases requeue).  Defaults
+        to ``max(60, 4 * lease_timeout)`` -- far above any healthy
+        worker's frame cadence, renewal heartbeats included.
     batch:
         Ceiling on cells granted per lease request.  A worker asking for
         ``max_cells`` receives up to ``min(max_cells, batch)`` cells
@@ -168,6 +227,9 @@ class Coordinator:
         port: int = 0,
         store: Union[ResultStore, str, None, bool] = False,
         lease_timeout: float = 120.0,
+        journal: Union[CoordinatorJournal, str, None] = None,
+        max_lease_losses: int = 3,
+        conn_idle_timeout: Optional[float] = None,
         batch: int = DEFAULT_BATCH_CELLS,
         progress: Optional[Callable[[int, int], None]] = None,
         log: Optional[Callable[[str], None]] = None,
@@ -176,13 +238,36 @@ class Coordinator:
             raise ValueError(f"lease_timeout must be positive, got {lease_timeout}")
         if batch < 1:
             raise ValueError(f"batch must be positive, got {batch}")
+        if max_lease_losses < 1:
+            raise ValueError(
+                f"max_lease_losses must be positive, got {max_lease_losses}"
+            )
+        if conn_idle_timeout is not None and conn_idle_timeout <= 0:
+            raise ValueError(
+                f"conn_idle_timeout must be positive, got {conn_idle_timeout}"
+            )
         self._host = host
         self._port = port
         self.store = ResultStore.resolve(store)
         self.lease_timeout = float(lease_timeout)
+        self.journal = (
+            journal
+            if isinstance(journal, CoordinatorJournal) or journal is None
+            else CoordinatorJournal(journal)
+        )
+        self.max_lease_losses = int(max_lease_losses)
+        self.conn_idle_timeout = (
+            float(conn_idle_timeout)
+            if conn_idle_timeout is not None
+            else max(60.0, 4.0 * self.lease_timeout)
+        )
         self.batch = int(batch)
         self.progress = progress
         self.log = log or (lambda message: None)
+        #: Jobs re-admitted from the journal by :meth:`start`.
+        self.recovered_jobs: List[SweepJob] = []
+        #: Service-lifetime degradation counters (across all jobs).
+        self.stats: Dict[str, int] = {"requeued": 0, "retried": 0, "quarantined": 0}
 
         self._lock = threading.RLock()
         self._cond = threading.Condition(self._lock)
@@ -194,6 +279,7 @@ class Coordinator:
         self._cell_ids = itertools.count(1)
         self._job_ids = itertools.count(1)
         self._conn_ids = itertools.count(1)
+        self._conn_names: Dict[int, str] = {}  # worker names, for attribution
 
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
@@ -213,9 +299,16 @@ class Coordinator:
         return self._listener.getsockname()[:2]
 
     def start(self) -> Tuple[str, int]:
-        """Bind, listen and serve in background threads; returns the address."""
+        """Bind, listen and serve in background threads; returns the address.
+
+        With a journal attached, every admitted-but-unsettled job from a
+        previous (crashed) coordinator is re-admitted first -- see
+        :attr:`recovered_jobs` -- so its cells are served as soon as the
+        listener is up.
+        """
         if self._listener is not None:
             raise RuntimeError("coordinator is already started")
+        self._recover_journal()
         self._listener = socket.create_server(
             (self._host, self._port), reuse_port=False
         )
@@ -227,8 +320,46 @@ class Coordinator:
         self.log(f"coordinator listening on {self.address[0]}:{self.address[1]}")
         return self.address
 
-    def shutdown(self) -> None:
-        """Stop serving: close the listener and every open connection."""
+    def _recover_journal(self) -> None:
+        """Re-admit every unsettled journalled job (crash recovery)."""
+        if self.journal is None:
+            return
+        records = self.journal.replay()
+        if not records:
+            return
+        # Fresh admits must never reuse a journalled job id.
+        self._job_ids = itertools.count(self.journal.max_job_id() + 1)
+        superseded: List[int] = []
+        for record in records:
+            try:
+                job = self._admit_remote(record)
+            except (ProtocolError, ValueError, TypeError, KeyError) as error:
+                self.log(
+                    f"journal: cannot recover job {record.get('job')}: {error}"
+                )
+                continue
+            self.recovered_jobs.append(job)
+            superseded.append(int(record["job"]))
+            self.log(
+                f"journal: job {record['job']} recovered as job {job.job_id} "
+                f"({job.done}/{job.total} cells already in store)"
+            )
+        # The re-admits are journalled under new ids; retire the old
+        # records so a second crash does not recover the job twice.
+        for job_id in superseded:
+            self.journal.record_settled(job_id)
+        self.journal.compact()
+
+    def shutdown(self, graceful: bool = True, grace: float = 2.0) -> None:
+        """Stop serving: close the listener and every open connection.
+
+        Graceful shutdown (the default) first lets worker connections
+        drain naturally -- their next ``lease`` is answered with a
+        ``shutdown`` frame, so workers exit cleanly instead of seeing the
+        socket die and entering their reconnect loop.  ``graceful=False``
+        slams every socket shut immediately; tests use it to simulate a
+        coordinator crash.
+        """
         self._stopping.set()
         with self._cond:
             self._cond.notify_all()
@@ -237,6 +368,13 @@ class Coordinator:
                 self._listener.close()
             except OSError:
                 pass
+        if graceful and grace > 0:
+            deadline = time.monotonic() + grace
+            for thread in list(self._conn_threads):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                thread.join(timeout=remaining)
         with self._lock:
             sockets = list(self._open_sockets.values())
         for sock in sockets:
@@ -250,8 +388,11 @@ class Coordinator:
                 pass
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5)
-        for thread in list(self._conn_threads):
-            thread.join(timeout=5)
+        if graceful:
+            for thread in list(self._conn_threads):
+                thread.join(timeout=5)
+        if self.journal is not None:
+            self.journal.close()
 
     def __enter__(self) -> "Coordinator":
         self.start()
@@ -326,6 +467,29 @@ class Coordinator:
             )
             self._jobs[job.job_id] = job
             self._traces.update(trace_payloads)
+            if self.journal is not None:
+                # Durable before any cell is served: a crash after this
+                # point recovers the job, byte-identical.
+                try:
+                    self.journal.record_admit(
+                        job.job_id,
+                        {
+                            "protocol": protocol.PROTOCOL_VERSION,
+                            "track_per_pc": bool(track_per_pc),
+                            "specs": [dict(entry) for entry in entries],
+                            "traces": [
+                                trace_payloads[trace.fingerprint()]
+                                for trace in traces
+                            ],
+                            "cells": (
+                                sorted([label, index] for label, index in wanted)
+                                if wanted is not None
+                                else None
+                            ),
+                        },
+                    )
+                except OSError as error:
+                    self.log(f"journal: cannot record job admission: {error}")
             prefilled: List[Tuple[_Cell, SimulationResult]] = []
             for entry in entries:
                 label = str(entry["label"])
@@ -395,17 +559,99 @@ class Coordinator:
     def _reap_expired_locked(self) -> None:
         now = time.monotonic()
         expired = [
-            cell_id for cell_id, (_, deadline) in self._leases.items()
+            (cell_id, owner)
+            for cell_id, (owner, deadline) in self._leases.items()
             if deadline <= now
         ]
-        for cell_id in expired:
+        for cell_id, owner in expired:
             del self._leases[cell_id]
-            self._pending.appendleft(cell_id)
-            cell = self._cells[cell_id]
-            self.log(
-                f"lease expired on cell {cell_id} "
-                f"({cell.label} / {cell.trace_name}); requeued"
+            name = self._conn_names.get(owner, f"connection {owner}")
+            self._lose_lease_locked(
+                cell_id, f"lease expired on worker {name!r} (no renewal)"
             )
+
+    def _lose_lease_locked(self, cell_id: int, reason: str) -> None:
+        """A lease was lost: requeue the cell, or quarantine it when its
+        retry budget (``max_lease_losses``) is spent."""
+        cell = self._cells.get(cell_id)
+        if cell is None or cell.job.finished:
+            return
+        if cell.job.slots[cell.label][cell.index] is not None:
+            return  # completed by another upload; nothing was lost
+        cell.losses += 1
+        cell.loss_log.append(reason)
+        if cell.losses >= self.max_lease_losses:
+            self._quarantine_locked(cell)
+            return
+        cell.job.requeued += 1
+        self.stats["requeued"] += 1
+        self._pending.appendleft(cell_id)
+        self.log(
+            f"cell {cell_id} ({cell.label} / {cell.trace_name}): {reason}; "
+            f"requeued (loss {cell.losses}/{self.max_lease_losses})"
+        )
+        self._notify_progress_locked(cell.job)
+
+    def _quarantine_locked(self, cell: _Cell) -> None:
+        """Retry budget exhausted: park the cell with its attributed error."""
+        job = cell.job
+        history = "; ".join(cell.loss_log)
+        message = (
+            f"quarantined after {cell.losses} lost lease(s) "
+            f"[{history}] -- the cell likely crashes or stalls every "
+            f"worker that runs it"
+        )
+        job.quarantined[(cell.label, cell.index)] = message
+        self.stats["quarantined"] += 1
+        self.log(
+            f"cell {cell.cell_id} ({cell.label} / {cell.trace_name}): {message}"
+        )
+        self._notify_progress_locked(job)
+        if job.done + len(job.quarantined) >= job.total:
+            self.log(
+                f"job {job.job_id}: settled with "
+                f"{len(job.quarantined)} quarantined cell(s)"
+            )
+            self._settle_locked(job)
+
+    def _settle_locked(self, job: SweepJob) -> None:
+        """Mark a job settled (complete, failed or quarantine-settled)."""
+        job._event.set()
+        if self.journal is not None:
+            try:
+                self.journal.record_settled(job.job_id)
+            except OSError as error:
+                self.log(f"journal: cannot record job settlement: {error}")
+        self._cond.notify_all()
+
+    def _notify_progress_locked(self, job: SweepJob) -> None:
+        """Invoke the progress hook; stats-aware hooks (``stats_aware``
+        attribute, e.g. :class:`~repro.common.progress.ProgressPrinter`)
+        additionally receive requeue/retry/quarantine counters."""
+        if self.progress is None:
+            return
+        if getattr(self.progress, "stats_aware", False):
+            self.progress(job.done, job.total, stats=job.stats())
+        else:
+            self.progress(job.done, job.total)
+
+    def _renew(self, owner: int, cell_ids: Sequence[int]) -> Tuple[List[int], List[int]]:
+        """Extend the leases ``owner`` still holds; the second list is the
+        cells it no longer does (expired and requeued, or completed by a
+        faster upload) so the worker can stop renewing them."""
+        renewed: List[int] = []
+        lost: List[int] = []
+        with self._cond:
+            self._reap_expired_locked()
+            deadline = time.monotonic() + self.lease_timeout
+            for cell_id in cell_ids:
+                lease = self._leases.get(cell_id)
+                if lease is not None and lease[0] == owner:
+                    self._leases[cell_id] = (owner, deadline)
+                    renewed.append(cell_id)
+                else:
+                    lost.append(cell_id)
+        return renewed, lost
 
     def _lease(self, owner: int, max_cells: int = 1) -> Tuple[str, List[_Cell]]:
         """One scheduling decision: ``("work", cells)``, ``("wait", [])``
@@ -461,6 +707,9 @@ class Coordinator:
                 )
                 for cell in granted:
                     self._leases[cell.cell_id] = (owner, deadline)
+                    if cell.losses:
+                        cell.job.retried += 1
+                        self.stats["retried"] += 1
                 return ("work", granted)
             return ("wait", [])
 
@@ -483,6 +732,9 @@ class Coordinator:
         result.predictor_name = cell.label
         cell.job.slots[cell.label][cell.index] = result
         cell.job.done += 1
+        # A late result for a not-yet-settled quarantined cell un-poisons
+        # it -- a real result always beats an attributed failure.
+        cell.job.quarantined.pop((cell.label, cell.index), None)
         if persist and self.store is not None and cell.store_key is not None:
             try:
                 self.store.put(
@@ -494,11 +746,10 @@ class Coordinator:
                 )
             except (OSError, TypeError, ValueError):
                 pass  # an unwritable store must not fail the sweep
-        if self.progress is not None:
-            self.progress(cell.job.done, cell.job.total)
-        if cell.job.done >= cell.job.total:
-            self.log(f"job {cell.job.job_id}: complete ({cell.job.total} cells)")
-            cell.job._event.set()
+        self._notify_progress_locked(cell.job)
+        if cell.job.done + len(cell.job.quarantined) >= cell.job.total:
+            self.log(f"job {cell.job.job_id}: complete ({cell.job.done} cells)")
+            self._settle_locked(cell.job)
         self._cond.notify_all()
         return True
 
@@ -516,8 +767,7 @@ class Coordinator:
                 f"cell {cell_id} ({cell.label} / {cell.trace_name}) failed: {message}"
             )
             self.log(f"job {job.job_id}: failed -- {job.error}")
-            job._event.set()
-            self._cond.notify_all()
+            self._settle_locked(job)
 
     def release_job(self, job: SweepJob) -> None:
         """Drop a settled job's scheduler state (a long-lived service must
@@ -544,18 +794,21 @@ class Coordinator:
             self._cond.notify_all()
 
     def _release_owner(self, owner: int) -> None:
-        """Requeue every cell the (dead) connection still holds."""
+        """Requeue (or quarantine) every cell the dead connection held."""
         with self._cond:
             held = [
                 cell_id for cell_id, (held_by, _) in self._leases.items()
                 if held_by == owner
             ]
+            name = self._conn_names.pop(owner, f"connection {owner}")
             for cell_id in held:
                 del self._leases[cell_id]
-                self._pending.appendleft(cell_id)
+                self._lose_lease_locked(
+                    cell_id, f"worker {name!r} died mid-lease"
+                )
             if held:
                 self.log(
-                    f"connection {owner} died holding {len(held)} lease(s); requeued"
+                    f"worker {name!r} died holding {len(held)} lease(s)"
                 )
             self._cond.notify_all()
 
@@ -571,7 +824,10 @@ class Coordinator:
                 continue
             except OSError:
                 break  # listener closed by shutdown()
-            sock.settimeout(None)
+            # Bounded idle timeout: a half-open peer (silent but never
+            # closing) times out the blocking read and is dropped like a
+            # dead connection, instead of pinning this thread forever.
+            sock.settimeout(self.conn_idle_timeout)
             try:
                 sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             except OSError:
@@ -639,6 +895,8 @@ class Coordinator:
             )
             return
         worker_name = str(hello.get("worker") or f"conn-{conn_id}")
+        with self._lock:
+            self._conn_names[conn_id] = worker_name
         self.log(f"worker {worker_name} connected (connection {conn_id})")
         protocol.write_frame(
             wfile,
@@ -646,15 +904,24 @@ class Coordinator:
                 "type": "welcome",
                 "protocol": protocol.PROTOCOL_VERSION,
                 "lease_timeout": self.lease_timeout,
+                # Additive capability flag: workers that understand it
+                # heartbeat with "renew" frames; older workers ignore it.
+                "renew": True,
             },
         )
         try:
-            while not self._stopping.is_set():
+            while True:
                 frame = protocol.read_frame(rfile)
                 if frame is None:
                     break
                 kind = frame["type"]
                 if kind == "lease":
+                    if self._stopping.is_set():
+                        # Graceful shutdown: tell the worker instead of
+                        # slamming the socket, so it exits rather than
+                        # entering its reconnect loop.
+                        protocol.write_frame(wfile, {"type": "shutdown"})
+                        break
                     max_cells = frame.get("max_cells", 1)
                     if not isinstance(max_cells, int) or max_cells < 1:
                         max_cells = 1
@@ -679,6 +946,17 @@ class Coordinator:
                     else:
                         protocol.write_frame(wfile, {"type": "shutdown"})
                         break
+                elif kind == "renew":
+                    cell_ids = frame.get("cells")
+                    if not isinstance(cell_ids, list) or not all(
+                        isinstance(cell_id, int) for cell_id in cell_ids
+                    ):
+                        raise ProtocolError("renew frame needs a 'cells' id list")
+                    renewed, lost = self._renew(conn_id, cell_ids)
+                    protocol.write_frame(
+                        wfile,
+                        {"type": "renewed", "cells": renewed, "lost": lost},
+                    )
                 elif kind == "fetch_trace":
                     fingerprint = frame.get("fingerprint")
                     payload = self._traces.get(fingerprint)
@@ -736,20 +1014,25 @@ class Coordinator:
                     "done": job.done,
                 },
             )
-            last_done = -1
+            last_state = (-1, ())
             while True:
                 finished = job.wait(timeout=0.2)
-                if job.done != last_done and not finished:
-                    last_done = job.done
-                    protocol.write_frame(
-                        wfile,
-                        {
-                            "type": "progress",
-                            "job": job.job_id,
-                            "done": job.done,
-                            "total": job.total,
-                        },
-                    )
+                # Degradation counters travel in every progress frame
+                # (additive keys; pre-renewal clients simply ignore them)
+                # so a submitter watching --progress sees requeues and
+                # quarantines while they happen, not post mortem.
+                stats = job.stats()
+                state = (job.done, tuple(sorted(stats.items())))
+                if state != last_state and not finished:
+                    last_state = state
+                    frame_out = {
+                        "type": "progress",
+                        "job": job.job_id,
+                        "done": job.done,
+                        "total": job.total,
+                    }
+                    frame_out.update(stats)
+                    protocol.write_frame(wfile, frame_out)
                 if finished:
                     reply: Dict[str, Any] = {
                         "type": "job_done",
@@ -757,6 +1040,7 @@ class Coordinator:
                         "done": job.done,
                         "total": job.total,
                     }
+                    reply.update(job.stats())
                     if job.error is not None:
                         reply["error"] = job.error
                     else:
@@ -768,6 +1052,13 @@ class Coordinator:
                             }
                             for label, index, result in job.completed_cells()
                         ]
+                        if job.quarantined:
+                            reply["quarantined_cells"] = [
+                                {"label": label, "index": index, "error": message}
+                                for (label, index), message in sorted(
+                                    job.quarantined.items()
+                                )
+                            ]
                     protocol.write_frame(wfile, reply)
                     break
                 if self._stopping.is_set():

@@ -1,0 +1,164 @@
+"""Crash-safe journal of admitted coordinator jobs.
+
+A coordinator crash must not lose admitted work: a submitter that got an
+``accepted`` frame (or an operator who started ``repro serve``) is owed
+every cell of that job, even if the submitter itself is long gone when
+the coordinator comes back.  The journal is the minimal durable record
+that makes this true: an **append-only JSONL file** next to the
+:class:`~repro.store.ResultStore` with one record per event --
+
+``{"event": "admit", "job": N, ...full job payload...}``
+    Written (flushed and fsync'd) the moment a job is admitted, *before*
+    any cell of it is served.  The payload is exactly the self-contained
+    protocol form of the job -- resolved spec entries, base64 traces,
+    the per-PC flag and the optional cell subset -- so replaying it is
+    re-admitting the identical job with identical store keys.
+``{"event": "settled", "job": N}``
+    Appended when the job completes or fails; settled jobs are not
+    recovered.
+
+On restart, :meth:`CoordinatorJournal.replay` returns the admitted-but-
+unsettled records; the coordinator re-admits each one.  Leases are
+implicitly treated as expired (a fresh coordinator has none), and cells
+whose results reached the store before the crash are completed at
+re-admit time without being dispatched -- so a crash costs at most the
+cells that were in flight, never the job.  Results themselves are *not*
+journalled: the store is their durable home, and a journal-only
+coordinator (no store) still recovers the job, just recomputing its
+cells.
+
+The file format is deliberately boring: one JSON object per line, append
+only, no compaction in place.  A crash mid-append leaves at most one
+truncated final line, which replay skips; a corrupt interior line is
+skipped the same way (losing one job beats refusing to start).
+:meth:`compact` rewrites the file without settled jobs so a long-lived
+service's journal does not grow forever.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+__all__ = ["CoordinatorJournal"]
+
+
+class CoordinatorJournal:
+    """Append-only JSONL log of admitted jobs (see module docstring)."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        # Line-buffered append handle, opened lazily so replay-before-
+        # append never sees our own empty write.
+        self._handle = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CoordinatorJournal({str(self.path)!r})"
+
+    # ----------------------------------------------------------------- #
+    # Writing
+    # ----------------------------------------------------------------- #
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, separators=(",", ":"), ensure_ascii=False)
+        with self._lock:
+            if self._handle is None:
+                self._handle = open(self.path, "ab")
+            self._handle.write(line.encode("utf-8") + b"\n")
+            self._handle.flush()
+            try:
+                os.fsync(self._handle.fileno())
+            except OSError:  # pragma: no cover - exotic filesystems
+                pass
+
+    def record_admit(self, job_id: int, payload: Dict[str, Any]) -> None:
+        """Durably record an admitted job before any cell is served.
+
+        ``payload`` is the self-contained protocol form: ``specs`` (label
+        / spec / profile entries), ``traces`` (base64), ``track_per_pc``
+        and the optional ``cells`` subset.
+        """
+        record = {"event": "admit", "job": int(job_id)}
+        record.update(payload)
+        self._append(record)
+
+    def record_settled(self, job_id: int) -> None:
+        """Record that a job completed or failed (it will not be recovered)."""
+        self._append({"event": "settled", "job": int(job_id)})
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+                self._handle = None
+
+    # ----------------------------------------------------------------- #
+    # Recovery
+    # ----------------------------------------------------------------- #
+
+    def _records(self) -> List[Dict[str, Any]]:
+        if not self.path.exists():
+            return []
+        records: List[Dict[str, Any]] = []
+        with open(self.path, "rb") as handle:
+            for raw in handle:
+                if not raw.endswith(b"\n"):
+                    break  # truncated final line: crash mid-append
+                try:
+                    record = json.loads(raw.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    continue  # a corrupt line loses one event, not the file
+                if isinstance(record, dict) and isinstance(record.get("job"), int):
+                    records.append(record)
+        return records
+
+    def replay(self) -> List[Dict[str, Any]]:
+        """The admit records of every job never marked settled, in order."""
+        admits: Dict[int, Dict[str, Any]] = {}
+        for record in self._records():
+            if record.get("event") == "admit":
+                admits[record["job"]] = record
+            elif record.get("event") == "settled":
+                admits.pop(record["job"], None)
+        return list(admits.values())
+
+    def max_job_id(self) -> int:
+        """Highest job id ever journalled (0 for an empty journal).
+
+        A restarted coordinator seeds its job counter past this so a
+        recovered job and a fresh one can never share an id in the log.
+        """
+        return max((record["job"] for record in self._records()), default=0)
+
+    def compact(self) -> int:
+        """Rewrite the journal keeping only unsettled jobs; returns kept count.
+
+        Safe to call on a quiesced coordinator (start-up, after recovery);
+        uses write-then-rename so a crash mid-compaction leaves either the
+        old or the new journal, never a half-written one.
+        """
+        live = self.replay()
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            temp = self.path.with_suffix(".compact.tmp")
+            with open(temp, "wb") as handle:
+                for record in live:
+                    line = json.dumps(record, separators=(",", ":"))
+                    handle.write(line.encode("utf-8") + b"\n")
+                handle.flush()
+                try:
+                    os.fsync(handle.fileno())
+                except OSError:  # pragma: no cover
+                    pass
+            os.replace(temp, self.path)
+        return len(live)

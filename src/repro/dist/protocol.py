@@ -15,7 +15,11 @@ it streams ``progress`` frames before the final ``job_done``.
 Worker session::
 
     -> {"type": "hello", "role": "worker", "protocol": 1, "worker": "w1"}
-    <- {"type": "welcome", "protocol": 1, "lease_timeout": 120.0}
+    <- {"type": "welcome", "protocol": 1, "lease_timeout": 120.0,
+        "renew": true}                        # "renew" advertises heartbeat
+                                              # lease renewal; absent on older
+                                              # coordinators, where workers
+                                              # simply never send "renew"
     -> {"type": "lease"}                      # or {"type": "lease", "max_cells": 8}
     <- {"type": "work", "item": {"cell": 7, "label": ..., "spec": ...,
         "profile": ..., "trace": "<fingerprint>", "trace_name": ...,
@@ -25,6 +29,11 @@ Worker session::
                                               # all items share one trace
        | {"type": "wait", "delay": 0.25}      # nothing leasable right now
        | {"type": "shutdown"}                 # coordinator is closing
+    -> {"type": "renew", "cells": [7, 8]}     # heartbeat while simulating:
+    <- {"type": "renewed", "cells": [7, 8],   # extends the leases still owned
+        "lost": []}                           # by this connection; "lost" ids
+                                              # were requeued or completed and
+                                              # must not be renewed again
     -> {"type": "fetch_trace", "fingerprint": "..."}
     <- {"type": "trace", "fingerprint": "...", "data": "<base64>"}
     -> {"type": "result", "cell": 7, "result": {...}}   # result_to_dict form
@@ -37,9 +46,24 @@ Submit session::
         "traces": ["<base64>", ...],
         "cells": [["label", 0], ...]}         # optional subset
     <- {"type": "accepted", "job": 1, "total": 12, "done": 3}
-    <- {"type": "progress", "job": 1, "done": 4, "total": 12}   # streamed
+    <- {"type": "progress", "job": 1, "done": 4, "total": 12,
+        "requeued": 0, "retried": 0, "quarantined": 0}   # streamed; the
+                                              # stat keys are additive in
+                                              # protocol 1 (older clients
+                                              # ignore unknown keys)
     <- {"type": "job_done", "job": 1,
-        "cells": [{"label": ..., "index": 0, "result": {...}}, ...]}
+        "cells": [{"label": ..., "index": 0, "result": {...}}, ...],
+        "requeued": 0, "retried": 0, "quarantined": 1,
+        "quarantined_cells": [{"label": ..., "index": 3, "error": "..."}]}
+                                              # "quarantined_cells" only when
+                                              # nonempty: cells abandoned after
+                                              # exhausting their lease-loss
+                                              # budget, with attributed errors
+
+Both directions tolerate *additive* keys inside version-1 frames -- that
+is how lease renewal and the fault-tolerance stats arrived without a
+version bump: a worker only sends ``renew`` after seeing the ``welcome``
+advertise it, and clients ignore stat keys they do not know.
 
 A malformed, oversized or unexpected frame gets a ``{"type": "error",
 "message": ...}`` reply (best effort) and the connection is closed; any

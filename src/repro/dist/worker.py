@@ -10,24 +10,47 @@ fan out over a local :class:`~concurrent.futures.ProcessPoolExecutor`
 while the connection keeps leasing ahead, so one worker process saturates
 one machine exactly like ``repro sweep --jobs``.
 
-Workers are stateless and safely killable: anything leased but not yet
-uploaded is requeued by the coordinator (on connection death immediately,
-on lease expiry otherwise).  With a local ``--store`` the worker reuses
-cells it already has and persists what it computes, so a shared store
-directory turns uploads into pure bookkeeping.
+Three layers of fault tolerance sit on that loop:
+
+* **Heartbeat lease renewal.**  When the coordinator's ``welcome``
+  advertises it, a background thread sends ``renew`` frames for every
+  held cell while the main thread simulates, so a slow cell never races
+  its lease timeout into duplicate execution.  The socket is shared
+  under a request/response lock -- exactly one exchange is in flight at
+  a time, so the strict protocol ordering is preserved.
+* **Reconnect with capped, jittered exponential backoff.**  An abrupt
+  connection loss (coordinator restart, network blip, an injected
+  fault) makes the worker reconnect for up to ``reconnect`` seconds and
+  resume leasing instead of dying; anything it held is requeued by the
+  coordinator and simply re-leased.  A *clean* ``shutdown`` frame still
+  ends the worker immediately.
+* **Graceful drain.**  :meth:`Worker.request_stop` (wired to SIGTERM by
+  ``repro worker``) stops new leasing, finishes and uploads everything
+  in flight, then returns -- no cell is stranded waiting for a lease
+  timeout.
+
+Workers remain stateless and safely killable: anything leased but not
+yet uploaded is requeued by the coordinator (on connection death
+immediately, on missing renewal at lease expiry otherwise).  With a
+local ``--store`` the worker reuses cells it already has and persists
+what it computes, so a shared store directory turns uploads into pure
+bookkeeping.  The named fault points of :mod:`repro.dist.chaos` are
+compiled into this module's lease/simulate/upload path.
 """
 
 from __future__ import annotations
 
 import os
+import random
 import socket
+import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Union
 
-from repro.dist import protocol
+from repro.dist import chaos, protocol
 from repro.dist.protocol import ConnectionClosed, ProtocolError
 from repro.sim.engine import SimulationResult
 from repro.sim.runner import (
@@ -38,7 +61,13 @@ from repro.sim.runner import (
 from repro.store import ResultStore, result_to_dict
 from repro.trace.trace import Trace
 
-__all__ = ["DEFAULT_TRACE_CACHE", "Worker", "run_worker"]
+__all__ = [
+    "DEFAULT_TRACE_CACHE",
+    "DEFAULT_RECONNECT",
+    "CoordinatorUnreachable",
+    "Worker",
+    "run_worker",
+]
 
 #: Default ceiling on decoded traces a worker keeps in memory.  A
 #: long-lived worker serving many jobs would otherwise accumulate every
@@ -46,9 +75,34 @@ __all__ = ["DEFAULT_TRACE_CACHE", "Worker", "run_worker"]
 #: beyond this bound and simply re-fetched if a later lease needs them.
 DEFAULT_TRACE_CACHE = 8
 
+#: Default window (seconds) a worker keeps trying to reconnect after an
+#: abrupt connection loss before concluding the coordinator is gone.
+DEFAULT_RECONNECT = 30.0
+
+
+class CoordinatorUnreachable(ConnectionError):
+    """No coordinator answered within the connect/reconnect window.
+
+    Raised from the *initial* connect (``repro worker`` maps it to a
+    distinct exit code); a mid-run reconnect that exhausts its window
+    ends the worker cleanly instead, since the most likely cause is a
+    serve-one-sweep coordinator that finished and exited.
+    """
+
+
+def _simulate_batch_with_chaos(entries, trace, track_per_pc: bool):
+    """The worker's simulation step, with its chaos points compiled in.
+
+    Top-level so it pickles to pool children, where the ``kill`` fault
+    must fire inside the child to emulate a crashed simulation process.
+    """
+    chaos.kill_process("worker.simulate.kill")
+    chaos.delay("worker.simulate.delay")
+    return _simulate_spec_batch(entries, trace, track_per_pc)
+
 
 class Worker:
-    """One connection's worth of lease-simulate-upload loop.
+    """One lease-simulate-upload loop with renewal, reconnect and drain.
 
     Parameters
     ----------
@@ -65,6 +119,12 @@ class Worker:
     connect_retry:
         Seconds to keep retrying the initial connect (covers the race of
         starting workers before the coordinator is listening).
+    reconnect:
+        Seconds to keep retrying after an established connection is lost
+        abruptly (coordinator restart, network trouble); ``0`` restores
+        the old die-on-disconnect behaviour.  Backoff is exponential,
+        capped and jittered so a restarted coordinator is not hit by a
+        synchronized thundering herd of workers.
     batch:
         Cells requested per lease.  The coordinator grants up to this
         many cells sharing one trace, which the worker simulates in one
@@ -85,6 +145,7 @@ class Worker:
         store: Union[ResultStore, str, None, bool] = False,
         name: Optional[str] = None,
         connect_retry: float = 10.0,
+        reconnect: float = DEFAULT_RECONNECT,
         batch: int = DEFAULT_BATCH_CELLS,
         trace_cache: int = DEFAULT_TRACE_CACHE,
         log: Optional[Callable[[str], None]] = None,
@@ -95,37 +156,66 @@ class Worker:
             raise ValueError(f"batch must be positive, got {batch}")
         if trace_cache < 1:
             raise ValueError(f"trace_cache must be positive, got {trace_cache}")
+        if reconnect < 0:
+            raise ValueError(f"reconnect must be non-negative, got {reconnect}")
         self.host = host
         self.port = port
         self.jobs = jobs
         self.store = ResultStore.resolve(store)
         self.name = name or f"{socket.gethostname()}-{os.getpid()}"
         self.connect_retry = float(connect_retry)
+        self.reconnect = float(reconnect)
         self.batch = int(batch)
         self.trace_cache = int(trace_cache)
         self.log = log or (lambda message: None)
         self.completed = 0
+        #: Reconnect attempts that succeeded (visible to tests/operators).
+        self.reconnects = 0
         self._traces: "OrderedDict[str, Trace]" = OrderedDict()
+        # Exactly one request/response exchange may be in flight on the
+        # shared socket: the main loop and the heartbeat thread both take
+        # this around every (write frame, read reply) pair.
+        self._io_lock = threading.Lock()
+        # Cell ids currently leased to us and not yet settled -- what the
+        # heartbeat renews.
+        self._held: Set[int] = set()
+        self._held_lock = threading.Lock()
+        self._stop_requested = threading.Event()
 
     # ----------------------------------------------------------------- #
     # Connection plumbing
     # ----------------------------------------------------------------- #
 
-    def _connect(self):
-        deadline = time.monotonic() + self.connect_retry
+    def request_stop(self) -> None:
+        """Ask the worker to drain: finish and upload everything in
+        flight, lease nothing new, then return from :meth:`run`.  Safe
+        to call from any thread or a signal handler."""
+        self._stop_requested.set()
+
+    def _connect(self, window: float) -> socket.socket:
+        """One connection within ``window`` seconds, with capped jittered
+        exponential backoff between attempts."""
+        deadline = time.monotonic() + window
         delay = 0.05
         while True:
             try:
                 return protocol.connect(self.host, self.port)
-            except OSError:
-                if time.monotonic() >= deadline:
-                    raise
-                time.sleep(delay)
-                delay = min(delay * 2, 1.0)
+            except OSError as error:
+                if self._stop_requested.is_set() or time.monotonic() >= deadline:
+                    raise CoordinatorUnreachable(
+                        f"cannot reach coordinator at {self.host}:{self.port}"
+                        f" within {window:.0f}s: {error}"
+                    ) from None
+                # Jitter spreads a worker fleet's retries out so a
+                # restarted coordinator is not stampeded in lockstep.
+                time.sleep(delay * (0.5 + random.random()))
+                delay = min(delay * 2, 2.0)
 
     def _request(self, rfile, wfile, frame: Dict[str, Any], *replies: str):
-        protocol.write_frame(wfile, frame)
-        return protocol.expect(protocol.read_frame(rfile), *replies)
+        chaos.delay("worker.frame.delay")
+        with self._io_lock:
+            protocol.write_frame(wfile, frame)
+            return protocol.expect(protocol.read_frame(rfile), *replies)
 
     def _trace_for(self, rfile, wfile, item: Dict[str, Any]) -> Trace:
         fingerprint = item["trace"]
@@ -148,6 +238,54 @@ class Worker:
         while len(self._traces) > self.trace_cache:
             self._traces.popitem(last=False)  # evict least recently used
         return trace
+
+    # ----------------------------------------------------------------- #
+    # Lease bookkeeping (what the heartbeat renews)
+    # ----------------------------------------------------------------- #
+
+    def _hold(self, items: List[Dict[str, Any]]) -> None:
+        with self._held_lock:
+            for item in items:
+                cell = item.get("cell")
+                if isinstance(cell, int):
+                    self._held.add(cell)
+
+    def _settle(self, cell_id: Any) -> None:
+        with self._held_lock:
+            self._held.discard(cell_id)
+
+    def _clear_held(self) -> None:
+        with self._held_lock:
+            self._held.clear()
+
+    def _heartbeat_loop(
+        self, rfile, wfile, interval: float, stop: threading.Event
+    ) -> None:
+        """Renew every held lease on a fixed cadence until the session ends.
+
+        Runs while the main thread simulates (the socket is idle then, and
+        the io lock arbitrates the rest).  Any wire trouble ends the
+        thread quietly -- the main loop hits the same trouble on its next
+        exchange and owns the recovery.
+        """
+        while not stop.wait(interval):
+            with self._held_lock:
+                held = sorted(self._held)
+            if not held:
+                continue
+            try:
+                reply = self._request(
+                    rfile, wfile, {"type": "renew", "cells": held}, "renewed"
+                )
+            except (ProtocolError, OSError):
+                return
+            lost = reply.get("lost")
+            if isinstance(lost, list) and lost:
+                # Requeued under us (or completed by someone faster):
+                # stop renewing them.  Any upload we still produce is
+                # handled by first-upload-wins dedupe.
+                with self._held_lock:
+                    self._held.difference_update(lost)
 
     # ----------------------------------------------------------------- #
     # Cell execution
@@ -184,18 +322,28 @@ class Worker:
 
     def _upload(self, rfile, wfile, item: Dict[str, Any], result: SimulationResult) -> None:
         self._persist(item, result)
-        protocol.write_frame(
-            wfile,
-            {
-                "type": "result",
-                "cell": item["cell"],
-                "result": result_to_dict(result),
-            },
-        )
-        # Counted once the frame is on the wire: the coordinator may
-        # accept the final result and shut down before the ack arrives.
+        frame = {
+            "type": "result",
+            "cell": item["cell"],
+            "result": result_to_dict(result),
+        }
+        if chaos.active() and chaos.should("worker.upload.corrupt"):
+            # Mangled bytes on the wire: one complete line that is not
+            # valid JSON.  The coordinator must reject it, drop us, and
+            # requeue -- never accept or wedge.
+            with self._io_lock:
+                wfile.write(b'{"type": "result", "corrupt": !!!garbage\n')
+                wfile.flush()
+                protocol.expect(protocol.read_frame(rfile), "ack")
+        self._request(rfile, wfile, frame, "ack")
+        # Counted once the exchange is done: the coordinator may accept
+        # the final result and shut down right after.
         self.completed += 1
-        protocol.expect(protocol.read_frame(rfile), "ack")
+        self._settle(item["cell"])
+        if chaos.active() and chaos.should("worker.upload.duplicate"):
+            # A retransmitted result: the coordinator must acknowledge it
+            # (accepted: false) without double-counting.
+            self._request(rfile, wfile, frame, "ack")
 
     #: Errors that are deterministic properties of the cell itself (an
     #: unknown configuration name, bad override types, invalid geometry):
@@ -218,17 +366,76 @@ class Worker:
             },
             "ack",
         )
+        self._settle(item["cell"])
 
     # ----------------------------------------------------------------- #
     # Main loop
     # ----------------------------------------------------------------- #
 
     def run(self) -> int:
-        """Serve until the coordinator shuts down; returns cells completed."""
-        sock = self._connect()
+        """Serve until the coordinator shuts down cleanly, the reconnect
+        window closes, or :meth:`request_stop` drains us; returns cells
+        completed."""
+        sock = self._connect(self.connect_retry)
+        pool: Optional[ProcessPoolExecutor] = None
+        if self.jobs > 1:
+            pool = ProcessPoolExecutor(max_workers=self.jobs)
+        try:
+            while True:
+                clean = False
+                trouble: Optional[BaseException] = None
+                try:
+                    clean = self._session(sock, pool)
+                except (ConnectionClosed, ProtocolError, OSError) as error:
+                    trouble = error
+                finally:
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+                self._clear_held()
+                if clean or self._stop_requested.is_set():
+                    break
+                if self.reconnect <= 0:
+                    if isinstance(trouble, ConnectionClosed):
+                        # Pre-reconnect behaviour: a closed connection is
+                        # the normal end of a serve-one-sweep run.
+                        self.log(
+                            f"worker {self.name}: coordinator closed the connection"
+                        )
+                        break
+                    if trouble is not None:
+                        raise trouble
+                    break
+                self.log(
+                    f"worker {self.name}: connection lost"
+                    f" ({trouble}); reconnecting for up to {self.reconnect:.0f}s"
+                )
+                try:
+                    sock = self._connect(self.reconnect)
+                except CoordinatorUnreachable:
+                    # Most likely a finished serve-one-sweep coordinator:
+                    # end cleanly rather than crash-looping the fleet.
+                    self.log(
+                        f"worker {self.name}: coordinator did not come back; exiting"
+                    )
+                    break
+                self.reconnects += 1
+                self.log(f"worker {self.name}: reconnected")
+            self.log(f"worker {self.name}: done ({self.completed} cell(s) simulated)")
+            return self.completed
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+    def _session(self, sock: socket.socket, pool: Optional[ProcessPoolExecutor]) -> bool:
+        """One connection's worth of serving.  ``True`` means a clean end
+        (shutdown frame, or a requested drain finished); an abrupt loss
+        raises and the caller decides whether to reconnect."""
         rfile = sock.makefile("rb")
         wfile = sock.makefile("wb")
-        pool: Optional[ProcessPoolExecutor] = None
+        heartbeat: Optional[threading.Thread] = None
+        heartbeat_stop = threading.Event()
         try:
             welcome = self._request(
                 rfile, wfile,
@@ -246,29 +453,35 @@ class Worker:
                     f"this worker speaks {protocol.PROTOCOL_VERSION}"
                 )
             self.log(f"worker {self.name}: connected to {self.host}:{self.port}")
-            if self.jobs > 1:
-                pool = ProcessPoolExecutor(max_workers=self.jobs)
+            if welcome.get("renew"):
+                # Heartbeat well inside the lease timeout; a pre-renewal
+                # coordinator never advertises, so none is started and
+                # the wire stays byte-compatible with it.
+                lease_timeout = float(welcome.get("lease_timeout") or 120.0)
+                interval = max(0.05, min(lease_timeout / 3.0, 30.0))
+                heartbeat = threading.Thread(
+                    target=self._heartbeat_loop,
+                    args=(rfile, wfile, interval, heartbeat_stop),
+                    name=f"repro-worker-heartbeat-{self.name}",
+                    daemon=True,
+                )
+                heartbeat.start()
             try:
                 self._serve(rfile, wfile, pool)
+                return True
             except ConnectionClosed:
-                # The coordinator closing the connection (rather than
-                # sending a shutdown frame) is the normal end of a
-                # serve-one-sweep run; anything leased is requeued there.
-                self.log(f"worker {self.name}: coordinator closed the connection")
-            self.log(f"worker {self.name}: done ({self.completed} cell(s) simulated)")
-            return self.completed
+                if self.reconnect <= 0:
+                    return True  # legacy: closed connection == clean end
+                raise
         finally:
-            if pool is not None:
-                pool.shutdown(wait=False, cancel_futures=True)
+            heartbeat_stop.set()
+            if heartbeat is not None:
+                heartbeat.join(timeout=2)
             for stream in (wfile, rfile):
                 try:
                     stream.close()
                 except OSError:
                     pass
-            try:
-                sock.close()
-            except OSError:
-                pass
 
     #: One leased grant in flight on the pool: its items and everything
     #: needed to resubmit the survivors after a cell failure.
@@ -297,7 +510,7 @@ class Worker:
         entries = list(entries)
         while items:
             try:
-                results = _simulate_spec_batch(entries, trace, track_per_pc)
+                results = _simulate_batch_with_chaos(entries, trace, track_per_pc)
             except BatchCellError as error:
                 self._report_failure(
                     rfile, wfile, items[error.index], error.original
@@ -319,6 +532,12 @@ class Worker:
         rest simulate as one batched traversal per (trace, per-PC) group
         (the coordinator grants with trace affinity; grouping here keeps
         the worker correct against any coordinator)."""
+        self._hold(items)
+        if chaos.active() and chaos.should("worker.lease.drop"):
+            # The connection dies right after the grant: every cell just
+            # leased must be requeued by the coordinator and completed by
+            # someone (possibly us, after reconnecting).
+            raise OSError("chaos: dropping connection after lease grant")
         todo: List[Dict[str, Any]] = []
         for item in items:
             stored = self._stored(item)
@@ -342,7 +561,7 @@ class Worker:
                 )
             else:
                 future = pool.submit(
-                    _simulate_spec_batch, entries, trace, track_per_pc
+                    _simulate_batch_with_chaos, entries, trace, track_per_pc
                 )
                 in_flight[future] = (group, entries, trace, track_per_pc)
 
@@ -371,7 +590,7 @@ class Worker:
                 ]
                 if rest_items:
                     retry = pool.submit(
-                        _simulate_spec_batch, rest_entries, trace, track_per_pc
+                        _simulate_batch_with_chaos, rest_entries, trace, track_per_pc
                     )
                     in_flight[retry] = (rest_items, rest_entries, trace, track_per_pc)
             else:
@@ -384,6 +603,13 @@ class Worker:
         draining = False
         capacity = self.jobs if pool is not None else 1
         while True:
+            if self._stop_requested.is_set() and not draining:
+                draining = True
+                if in_flight:
+                    self.log(
+                        f"worker {self.name}: draining "
+                        f"{len(in_flight)} in-flight grant(s) before stopping"
+                    )
             # Phase 1: lease until the pool is full or nothing is leasable.
             delay = 0.0
             while not draining and len(in_flight) < capacity:
@@ -396,6 +622,8 @@ class Worker:
                 if reply["type"] == "wait":
                     delay = float(reply.get("delay", 0.25))
                     break
+                if self._stop_requested.is_set():
+                    draining = True
                 items = reply.get("items")
                 if items is None:  # single-cell grant (pre-batching shape)
                     items = [reply["item"]]
@@ -417,6 +645,7 @@ def run_worker(
     store: Union[ResultStore, str, Path, None, bool] = False,
     name: Optional[str] = None,
     connect_retry: float = 10.0,
+    reconnect: float = DEFAULT_RECONNECT,
     batch: int = DEFAULT_BATCH_CELLS,
     trace_cache: int = DEFAULT_TRACE_CACHE,
     log: Optional[Callable[[str], None]] = None,
@@ -426,18 +655,27 @@ def run_worker(
     Returns the number of cells this worker completed (``repro worker``
     is a thin wrapper around this).
     """
-    host, _, port_text = connect.rpartition(":")
-    if not host or not port_text.isdigit():
-        raise ValueError(f"--connect needs HOST:PORT, got {connect!r}")
-    worker = Worker(
-        host,
-        int(port_text),
+    worker = make_worker(
+        connect,
         jobs=jobs,
         store=store,
         name=name,
         connect_retry=connect_retry,
+        reconnect=reconnect,
         batch=batch,
         trace_cache=trace_cache,
         log=log,
     )
     return worker.run()
+
+
+def make_worker(connect: str, **kwargs) -> Worker:
+    """Build a :class:`Worker` from a ``"host:port"`` address string.
+
+    Split from :func:`run_worker` so callers (the CLI's SIGTERM drain)
+    can hold the instance while it runs.
+    """
+    host, _, port_text = connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise ValueError(f"--connect needs HOST:PORT, got {connect!r}")
+    return Worker(host, int(port_text), **kwargs)

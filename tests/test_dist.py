@@ -55,6 +55,9 @@ def serial_results(specs, traces):
 def _start_workers(address, count, **kwargs):
     """``count`` workers in background threads; returns (workers, threads)."""
     host, port = address
+    # A short reconnect window keeps worker threads joinable within the
+    # test timeout when a coordinator goes away abruptly.
+    kwargs.setdefault("reconnect", 0.75)
     workers = [
         Worker(host, port, name=f"test-worker-{i}", **kwargs) for i in range(count)
     ]
@@ -498,16 +501,18 @@ class TestDistCli:
     def test_worker_bad_connect_is_an_error(self, capsys):
         from repro.cli import main
 
-        assert main(["worker", "--connect", "nonsense"]) == 1
+        assert main(["worker", "--connect", "nonsense"]) == 2
         assert "HOST:PORT" in capsys.readouterr().err
 
-    def test_worker_unreachable_coordinator_fails_cleanly(self, capsys):
-        from repro.cli import main
+    def test_worker_unreachable_coordinator_exits_distinctly(self, capsys):
+        from repro.cli import EXIT_UNREACHABLE, main
 
         assert main([
             "worker", "--connect", "127.0.0.1:1", "--connect-retry", "0",
-        ]) == 1
-        assert "worker failed" in capsys.readouterr().err
+        ]) == EXIT_UNREACHABLE
+        err = capsys.readouterr().err
+        assert "worker failed" in err
+        assert "cannot reach coordinator" in err
 
     def test_submit_unreachable_coordinator_fails_cleanly(self, capsys):
         from repro.cli import main

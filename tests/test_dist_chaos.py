@@ -1,0 +1,479 @@
+"""Fault-injection tests for the distributed sweep service.
+
+Every test here breaks the service somewhere -- a dropped connection, a
+corrupted or duplicated upload, a killed worker process, a crashed
+coordinator -- through the named fault points of :mod:`repro.dist.chaos`
+(or by slamming sockets directly), then asserts the strongest invariant
+the service claims: the sweep still completes with results bit-identical
+to a serial run.  Quarantine tests assert the one deliberate exception:
+a cell that keeps killing its workers is abandoned *with its error
+attributed*, without taking unrelated cells down.
+
+In-process faults (drop/corrupt/duplicate/delay) run coordinator and
+workers as threads like ``tests/test_dist.py``; the worker-kill fault
+uses real ``python -m repro worker`` subprocesses because ``os._exit``
+is the point.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api.experiment import Experiment
+from repro.api.specs import PredictorSpec
+from repro.common.progress import ProgressPrinter
+from repro.dist import (
+    Coordinator,
+    CoordinatorJournal,
+    JobFailed,
+    Worker,
+    protocol,
+    submit_sweep,
+)
+from repro.dist import chaos
+from repro.store import ResultStore, result_to_dict
+from repro.workloads.suites import generate_suite
+
+BENCHMARKS = ["SPEC2K6-00", "SPEC2K6-04"]
+LENGTH = 300
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return generate_suite(
+        "cbp4like", target_conditional_branches=LENGTH, benchmarks=BENCHMARKS
+    )
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return [
+        PredictorSpec.from_named("tage-gsc", profile="small"),
+        PredictorSpec.from_named("tage-gsc", profile="small", imli_sic=True),
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_results(specs, traces):
+    return Experiment(specs, traces=traces, profile="small", store=False).run()
+
+
+@pytest.fixture(autouse=True)
+def _chaos_off():
+    """Every test starts and ends with chaos disabled."""
+    chaos.configure(None)
+    yield
+    chaos.configure(None)
+
+
+def _start_workers(address, count, **kwargs):
+    host, port = address
+    kwargs.setdefault("reconnect", 5.0)
+    workers = [
+        Worker(host, port, name=f"chaos-worker-{i}", **kwargs) for i in range(count)
+    ]
+    threads = [
+        threading.Thread(target=worker.run, daemon=True) for worker in workers
+    ]
+    for thread in threads:
+        thread.start()
+    return workers, threads
+
+
+def _join_workers(coordinator, threads, graceful=True):
+    coordinator.shutdown(graceful=graceful)
+    for thread in threads:
+        thread.join(timeout=15)
+    assert not any(thread.is_alive() for thread in threads), "worker thread hung"
+
+
+def _assert_bit_identical(runs, serial_results, specs):
+    """Every distributed result byte-equals its serial counterpart."""
+    for spec in specs:
+        ours = runs[spec.label].results
+        theirs = serial_results.run_for(spec.label).results
+        assert len(ours) == len(theirs)
+        for mine, ref in zip(ours, theirs):
+            assert result_to_dict(mine) == result_to_dict(ref)
+
+
+class _RawClient:
+    """Hand-rolled protocol client used to lose leases on purpose."""
+
+    def __init__(self, address):
+        self.sock = socket.create_connection(address, timeout=10)
+        self.rfile = self.sock.makefile("rb")
+        self.wfile = self.sock.makefile("wb")
+
+    def send(self, frame):
+        protocol.write_frame(self.wfile, frame)
+
+    def recv(self):
+        return protocol.read_frame(self.rfile)
+
+    def hello(self, name="raw"):
+        self.send(
+            {
+                "type": "hello",
+                "role": "worker",
+                "protocol": protocol.PROTOCOL_VERSION,
+                "worker": name,
+            }
+        )
+        reply = self.recv()
+        assert reply["type"] == "welcome"
+        return reply
+
+    def lease(self):
+        self.send({"type": "lease"})
+        return self.recv()
+
+    def die(self):
+        """Drop the connection without a word (a crashed worker)."""
+        self.sock.close()
+
+
+class TestInjectedFaults:
+    """Each fault point fires; the sweep still matches serial bit-for-bit."""
+
+    def _run_sweep(self, specs, traces, serial_results, coordinator_kwargs=None,
+                   worker_kwargs=None, workers=2):
+        coordinator = Coordinator(**(coordinator_kwargs or {}))
+        address = coordinator.start()
+        job = coordinator.submit(specs, traces)
+        _, threads = _start_workers(address, workers, **(worker_kwargs or {}))
+        assert job.wait(60), "sweep did not finish under fault injection"
+        runs = job.runs()
+        _join_workers(coordinator, threads)
+        _assert_bit_identical(runs, serial_results, specs)
+        return coordinator, job
+
+    def test_dropped_connection_after_grant(self, specs, traces, serial_results):
+        chaos.configure("worker.lease.drop:1:2")
+        coordinator, job = self._run_sweep(specs, traces, serial_results)
+        # Both drops cost a lease each; the coordinator requeued them.
+        assert job.stats()["requeued"] >= 1
+        assert coordinator.stats["requeued"] >= 1
+        assert job.stats()["quarantined"] == 0
+
+    def test_corrupt_upload_is_rejected_and_requeued(
+        self, specs, traces, serial_results
+    ):
+        chaos.configure("worker.upload.corrupt:1:1")
+        coordinator, job = self._run_sweep(specs, traces, serial_results)
+        # The mangled frame dropped that connection; its cells were
+        # requeued and simulated again by a reconnected worker.
+        assert job.stats()["requeued"] >= 1
+        assert job.error is None
+
+    def test_duplicate_upload_not_double_counted(
+        self, specs, traces, serial_results
+    ):
+        chaos.configure("worker.upload.duplicate:1:2")
+        _, job = self._run_sweep(specs, traces, serial_results)
+        assert job.done == job.total
+
+    def test_delayed_frames_are_harmless(self, specs, traces, serial_results):
+        chaos.configure("worker.frame.delay:0.5:0:0.05", seed=7)
+        self._run_sweep(specs, traces, serial_results)
+
+    def test_renewal_keeps_slow_cell_single_executed(
+        self, specs, traces, serial_results
+    ):
+        # One cell sleeps well past the original lease timeout while a
+        # second, idle worker keeps poking the coordinator (every lease
+        # poll reaps expired leases).  Renewal heartbeats must keep the
+        # slow cell owned: no requeue, no duplicate execution.
+        chaos.configure("worker.simulate.delay:1:1:2.5")
+        coordinator, job = self._run_sweep(
+            specs, traces, serial_results,
+            coordinator_kwargs={"lease_timeout": 1.0},
+            worker_kwargs={"batch": 1},
+            workers=2,
+        )
+        assert job.stats()["requeued"] == 0
+        assert job.stats()["retried"] == 0
+        assert coordinator.stats["requeued"] == 0
+
+
+class TestWorkerKill:
+    """A worker process hard-killed mid-simulation loses nothing."""
+
+    def test_killed_worker_subprocess_is_survived(
+        self, tmp_path, specs, traces, serial_results
+    ):
+        coordinator = Coordinator()
+        host, port = coordinator.start()
+        job = coordinator.submit(specs, traces)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+        doomed_env = dict(env)
+        # Kill the process on its first simulation, exactly once.
+        doomed_env["REPRO_CHAOS"] = "worker.simulate.kill:1:1"
+        command = [
+            sys.executable, "-m", "repro", "worker",
+            "--connect", f"{host}:{port}", "--reconnect", "2",
+        ]
+        doomed = subprocess.Popen(
+            command, env=doomed_env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        try:
+            assert doomed.wait(timeout=60) == 137  # os._exit(137) fired
+            healthy = subprocess.Popen(
+                command, env=env,
+                stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+            )
+            try:
+                assert job.wait(90), "sweep did not finish after worker kill"
+            finally:
+                healthy.terminate()
+                healthy.wait(timeout=15)
+            runs = job.runs()
+        finally:
+            if doomed.poll() is None:
+                doomed.kill()
+                doomed.wait(timeout=15)
+            coordinator.shutdown()
+        assert job.stats()["requeued"] >= 1
+        _assert_bit_identical(runs, serial_results, specs)
+
+
+class TestCoordinatorCrashRecovery:
+    """Kill the coordinator mid-sweep; a journalled restart resumes it."""
+
+    def test_journal_restart_resumes_bit_identically(
+        self, tmp_path, specs, traces, serial_results
+    ):
+        store_dir = tmp_path / "store"
+        journal_path = tmp_path / "journal.jsonl"
+        first = Coordinator(
+            store=ResultStore(store_dir), journal=str(journal_path)
+        )
+        address = first.start()
+        job = first.submit(specs, traces)
+        workers, threads = _start_workers(address, 1, store=False, reconnect=0.5)
+        deadline = time.monotonic() + 30
+        while job.done < 1 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert job.done >= 1, "no cell completed before the crash"
+        # Crash: no goodbye to anyone, journal left as-is on disk.
+        first.shutdown(graceful=False)
+        for thread in threads:
+            thread.join(timeout=15)
+        assert not any(thread.is_alive() for thread in threads)
+        completed_before = job.done
+
+    # -- restart -------------------------------------------------------
+        second = Coordinator(
+            store=ResultStore(store_dir), journal=str(journal_path)
+        )
+        address = second.start()
+        assert len(second.recovered_jobs) == 1
+        recovered = second.recovered_jobs[0]
+        # Cells whose results reached the store before the crash are
+        # completed at re-admit time, not re-simulated.
+        assert recovered.done >= completed_before
+        _, threads = _start_workers(address, 2)
+        assert recovered.wait(60), "recovered sweep did not finish"
+        runs = recovered.runs()
+        _join_workers(second, threads)
+        _assert_bit_identical(runs, serial_results, specs)
+        # The journal settled the recovered job: a third start recovers
+        # nothing and does not re-run the sweep.
+        third = Coordinator(
+            store=ResultStore(store_dir), journal=str(journal_path)
+        )
+        third.start()
+        assert third.recovered_jobs == []
+        third.shutdown()
+
+    def test_unsubmitted_journal_survives_double_crash(self, tmp_path, specs, traces):
+        # Crash before any worker ever connects, twice: the job must
+        # still be recovered exactly once per restart, never duplicated.
+        journal_path = tmp_path / "journal.jsonl"
+        first = Coordinator(journal=str(journal_path))
+        first.start()
+        submitted = first.submit(specs, traces)
+        first.shutdown(graceful=False)
+        second = Coordinator(journal=str(journal_path))
+        second.start()
+        assert len(second.recovered_jobs) == 1
+        assert second.recovered_jobs[0].total == submitted.total
+        second.shutdown(graceful=False)
+        third = Coordinator(journal=str(journal_path))
+        third.start()
+        assert len(third.recovered_jobs) == 1
+        assert third.recovered_jobs[0].total == submitted.total
+        third.shutdown()
+
+
+class TestQuarantine:
+    """A cell that keeps losing its lease is abandoned with its error."""
+
+    def _lose_lease_once(self, address):
+        """Lease the queue-front cell and die holding it; returns cell id."""
+        client = _RawClient(address)
+        client.hello()
+        reply = client.lease()
+        assert reply["type"] == "work"
+        item = reply.get("item") or reply["items"][0]
+        client.die()
+        return item["cell"], (item["label"], item["trace_name"])
+
+    def test_poison_cell_quarantined_without_failing_others(
+        self, specs, traces, serial_results
+    ):
+        coordinator = Coordinator(max_lease_losses=2)
+        address = coordinator.start()
+        job = coordinator.submit(specs, traces)
+        first_cell, _ = self._lose_lease_once(address)
+        deadline = time.monotonic() + 10
+        while job.stats()["requeued"] < 1 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert job.stats()["requeued"] == 1
+        # Requeue puts the poison cell back at the front: the next lease
+        # gets the same cell, and losing it again exhausts the budget.
+        second_cell, _ = self._lose_lease_once(address)
+        assert second_cell == first_cell
+        deadline = time.monotonic() + 10
+        while job.stats()["quarantined"] < 1 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert job.stats()["quarantined"] == 1
+        assert len(job.quarantined) == 1
+        ((label, index), message), = job.quarantined.items()
+        assert "quarantined after 2 lost lease(s)" in message
+        assert "died mid-lease" in message
+        # Healthy workers complete every other cell.
+        _, threads = _start_workers(address, 2)
+        assert job.wait(60), "healthy cells did not finish around the quarantine"
+        assert job.error is None  # quarantine is not a job *failure* error
+        assert job.done == job.total - 1
+        with pytest.raises(JobFailed) as failure:
+            job.runs()
+        assert "quarantined" in str(failure.value)
+        # The cells that did complete are still bit-identical to serial.
+        completed = job.completed_cells()
+        assert len(completed) == job.total - 1
+        for cell_label, cell_index, result in completed:
+            reference = serial_results.run_for(cell_label).results[cell_index]
+            assert result_to_dict(result) == result_to_dict(reference)
+        _join_workers(coordinator, threads)
+
+    def test_submit_surfaces_quarantined_cells(self, specs, traces):
+        coordinator = Coordinator(max_lease_losses=1)
+        address = coordinator.start()
+        outcome = {}
+        seen_stats = []
+
+        def stats_progress(done, total, stats=None):
+            if stats:
+                seen_stats.append(dict(stats))
+
+        stats_progress.stats_aware = True
+
+        def submitter():
+            try:
+                submit_sweep(address, specs, traces, progress=stats_progress)
+                outcome["error"] = None
+            except RuntimeError as error:
+                outcome["error"] = str(error)
+
+        thread = threading.Thread(target=submitter, daemon=True)
+        thread.start()
+        # Wait until the submitted job exists, then poison one cell.
+        deadline = time.monotonic() + 10
+        while not coordinator._jobs and time.monotonic() < deadline:
+            time.sleep(0.02)
+        self._lose_lease_once(address)
+        job = next(iter(coordinator._jobs.values()))
+        deadline = time.monotonic() + 10
+        while job.stats()["quarantined"] < 1 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        _, threads = _start_workers(address, 2)
+        thread.join(timeout=60)
+        assert not thread.is_alive(), "submit did not return"
+        _join_workers(coordinator, threads)
+        assert outcome["error"] is not None
+        assert "quarantined" in outcome["error"]
+        assert any(stats.get("quarantined") for stats in seen_stats)
+
+
+class TestJournalFile:
+    """The JSONL journal itself: replay, torn writes, compaction."""
+
+    def test_truncated_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = CoordinatorJournal(path)
+        journal.record_admit(1, {"specs": ["a"]})
+        journal.record_admit(2, {"specs": ["b"]})
+        journal.close()
+        with open(path, "ab") as handle:  # crash mid-append
+            handle.write(b'{"event": "admit", "job": 3, "specs": ')
+        replayed = CoordinatorJournal(path).replay()
+        assert [record["job"] for record in replayed] == [1, 2]
+
+    def test_corrupt_interior_line_loses_one_event(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = CoordinatorJournal(path)
+        journal.record_admit(1, {})
+        journal.record_admit(2, {})
+        journal.close()
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[0] = b"not json at all\n"
+        path.write_bytes(b"".join(lines))
+        replayed = CoordinatorJournal(path).replay()
+        assert [record["job"] for record in replayed] == [2]
+
+    def test_settled_jobs_are_not_replayed_and_compaction_drops_them(
+        self, tmp_path
+    ):
+        path = tmp_path / "journal.jsonl"
+        journal = CoordinatorJournal(path)
+        journal.record_admit(1, {})
+        journal.record_admit(2, {})
+        journal.record_settled(1)
+        assert [record["job"] for record in journal.replay()] == [2]
+        assert journal.max_job_id() == 2
+        assert journal.compact() == 1
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1 and json.loads(lines[0])["job"] == 2
+        journal.close()
+
+
+class TestStatsProgress:
+    """ProgressPrinter renders fault-tolerance stats when they change."""
+
+    def test_nonzero_stats_are_appended(self):
+        out = io.StringIO()
+        printer = ProgressPrinter("test", stream=out, min_interval=0.0)
+        printer(1, 4)
+        printer(1, 4, stats={"requeued": 2, "quarantined": 1})
+        text = out.getvalue()
+        assert "[requeued 2, quarantined 1]" in text
+
+    def test_stats_change_forces_a_line_even_when_done_is_unchanged(self):
+        out = io.StringIO()
+        printer = ProgressPrinter("test", stream=out, min_interval=3600.0)
+        printer(1, 4)
+        lines_before = out.getvalue().count("\n")
+        printer(1, 4, stats={"retried": 1})
+        assert out.getvalue().count("\n") == lines_before + 1
+        assert "[retried 1]" in out.getvalue()
+
+    def test_plain_two_argument_calls_still_work(self):
+        out = io.StringIO()
+        printer = ProgressPrinter("test", stream=out, min_interval=0.0)
+        printer(2, 4)
+        assert "2/4" in out.getvalue()
+        assert "[" not in out.getvalue()
