@@ -1,9 +1,11 @@
 """Throughput regression gate for CI.
 
 Measures predictions per second for the headline configurations (the same
-four that ``bench_throughput.py`` tracks) on the SPEC2K6-12 trace, writes
-the numbers as JSON, and -- when given a baseline file -- fails if any
-configuration dropped by more than the allowed fraction.  The committed
+four that ``bench_throughput.py`` tracks) on the SPEC2K6-12 trace, the
+batched-sweep specs/s, the ``ingest_trace`` pipeline's branches/s and the
+chunked-layout streaming-simulation branches/s, writes the numbers as
+JSON, and -- when given a baseline file -- fails if any gated metric
+dropped by more than the allowed fraction.  The committed
 baseline (``benchmarks/baselines/BENCH_baseline.json``) is seeded from the
 PR 1 numbers in ``docs/PERFORMANCE.md``.
 
@@ -59,6 +61,15 @@ PROFILE = "default"
 #: per spec, the pre-batching layout.
 SWEEP_BASE = "tage-gsc+oh"
 SWEEP_DELAYS = [0, 1, 3, 7, 15, 31, 63, 127]
+
+#: The ingest workload behind ``ingest_branches_per_s`` /
+#: ``streaming_branches_per_s``: a synthesized CBP-style text trace run
+#: through the full ``ingest_trace`` pipeline (reader -> gatekeeper ->
+#: chunked writer), then ``tage-gsc`` simulated over the chunked layout
+#: (streaming, several chunk boundaries).
+INGEST_LINES = 20000
+INGEST_CHUNK_BRANCHES = 600
+STREAMING_CONFIGURATION = "tage-gsc"
 
 
 def _build(configuration: str):
@@ -116,6 +127,69 @@ def measure_sweep(
     }
 
 
+def measure_ingest(
+    rounds: int, use_fast_path: Optional[bool] = None
+) -> Dict[str, float]:
+    """Best-of-``rounds`` ingest and streaming-simulation branches/s.
+
+    ``ingest_branches_per_s`` times the full pipeline (CBP text reader ->
+    gatekeeper -> chunked writer) over a synthesized ``INGEST_LINES``-line
+    input; ``streaming_branches_per_s`` times ``STREAMING_CONFIGURATION``
+    simulating the chunked layout (the per-chunk streaming path, several
+    chunk boundaries per traversal).
+    """
+    import tempfile
+
+    from repro.ingest import ingest_trace
+    from repro.trace.chunked import load_chunked_trace, write_chunked_trace
+
+    trace = generate_benchmark(
+        get_benchmark(SUITE, BENCHMARK), target_conditional_branches=LENGTH
+    )
+    best_ingest = 0.0
+    best_stream = 0.0
+    with tempfile.TemporaryDirectory(prefix="repro-bench-ingest-") as scratch_name:
+        scratch = Path(scratch_name)
+        source = scratch / "external.cbp"
+        with source.open("w", encoding="utf-8") as out:
+            for i in range(INGEST_LINES):
+                record = trace.record_at(i % len(trace))
+                out.write(
+                    f"{record.pc:#x} {int(record.taken)} {record.target:#x} "
+                    f"{record.kind.value} {record.instruction_gap}\n"
+                )
+        for round_index in range(rounds):
+            report = ingest_trace(
+                source,
+                scratch / f"round-{round_index}",
+                reader="cbp",
+                chunk_branches=INGEST_CHUNK_BRANCHES,
+            )
+            if report.records != INGEST_LINES:
+                raise RuntimeError(
+                    f"ingest converted {report.records} != {INGEST_LINES} records"
+                )
+            best_ingest = max(best_ingest, report.branches_per_second)
+
+        streaming_dir = scratch / "streaming"
+        write_chunked_trace(
+            trace, streaming_dir, chunk_branches=INGEST_CHUNK_BRANCHES
+        )
+        streamed = load_chunked_trace(streaming_dir)
+        for _ in range(rounds):
+            predictor = _build(STREAMING_CONFIGURATION)
+            start = time.perf_counter()
+            result = simulate(predictor, streamed, use_fast_path=use_fast_path)
+            elapsed = time.perf_counter() - start
+            if result.conditional_branches != streamed.conditional_count:
+                raise RuntimeError("streaming simulate covered a partial trace")
+            best_stream = max(best_stream, result.conditional_branches / elapsed)
+    return {
+        "ingest_branches_per_s": best_ingest,
+        "streaming_branches_per_s": best_stream,
+    }
+
+
 def measure(rounds: int, use_fast_path: Optional[bool]) -> Dict[str, float]:
     """Best-of-``rounds`` predictions/s per configuration.
 
@@ -147,14 +221,20 @@ def measure(rounds: int, use_fast_path: Optional[bool]) -> Dict[str, float]:
 def _gate_metrics(document: Dict) -> Dict[str, float]:
     """Flatten one measurement document into the gated metric set.
 
-    Per-configuration predictions/s plus the batched sweep throughput.
-    Baselines written before the sweep metric existed simply gate fewer
-    metrics (``compare`` iterates the baseline's keys).
+    Per-configuration predictions/s plus the batched sweep throughput and
+    the ingest / streaming-simulation branches/s.  Baselines written
+    before a metric existed simply gate fewer metrics (``compare``
+    iterates the baseline's keys).
     """
     metrics = dict(document.get("predictions_per_second", {}))
     sweep = document.get("sweep")
     if isinstance(sweep, dict) and "specs_per_second" in sweep:
         metrics["sweep_specs_per_s"] = sweep["specs_per_second"]
+    ingest = document.get("ingest")
+    if isinstance(ingest, dict):
+        for key in ("ingest_branches_per_s", "streaming_branches_per_s"):
+            if key in ingest:
+                metrics[key] = ingest[key]
     return metrics
 
 
@@ -217,6 +297,7 @@ def main(argv=None) -> int:
 
     throughput = measure(args.rounds, False if args.no_fast_path else None)
     sweep = measure_sweep(args.rounds, False if args.no_fast_path else None)
+    ingest = measure_ingest(args.rounds, False if args.no_fast_path else None)
     document = {
         "meta": {
             "suite": SUITE,
@@ -240,6 +321,17 @@ def main(argv=None) -> int:
                 sweep["sweep_specs_per_s_serial"], 3
             ),
         },
+        "ingest": {
+            "lines": INGEST_LINES,
+            "chunk_branches": INGEST_CHUNK_BRANCHES,
+            "streaming_configuration": STREAMING_CONFIGURATION,
+            "ingest_branches_per_s": round(
+                ingest["ingest_branches_per_s"], 1
+            ),
+            "streaming_branches_per_s": round(
+                ingest["streaming_branches_per_s"], 1
+            ),
+        },
     }
     for destination in (args.output, args.write_baseline):
         if destination == "-":
@@ -261,6 +353,13 @@ def main(argv=None) -> int:
             f"{'sweep (batched)':<20} {sweep['sweep_specs_per_s']:>12.2f} specs/s "
             f"({sweep['sweep_specs_per_s'] / sweep['sweep_specs_per_s_serial']:.2f}x "
             "vs per-cell)"
+        )
+        print(
+            f"{'ingest':<20} {ingest['ingest_branches_per_s']:>12.0f} branches/s"
+        )
+        print(
+            f"{'streaming simulate':<20} "
+            f"{ingest['streaming_branches_per_s']:>12.0f} branches/s"
         )
         return 0
 

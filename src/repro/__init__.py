@@ -13,6 +13,9 @@ The library provides, in pure Python:
 * synthetic CBP-like benchmark suites standing in for the championship
   traces (:mod:`repro.workloads`, see DESIGN.md for the substitution
   rationale);
+* ingestion of external trace files and a chunked on-disk layout that
+  streams huge traces through simulation in bounded memory
+  (:mod:`repro.ingest`, :mod:`repro.trace.chunked`, ``docs/TRACES.md``);
 * the reproduced tables and figures of the evaluation section
   (:mod:`repro.analysis`).
 
@@ -64,21 +67,32 @@ from repro.predictors import (
     configuration_names,
 )
 from repro.dist import Coordinator, DistBackend, Worker
+from repro.ingest import IngestError, IngestReport, ingest_trace
 from repro.sim import SimulationResult, SuiteRunner, simulate
 from repro.store import ResultStore
-from repro.trace import BranchKind, BranchRecord, Trace
+from repro.trace import (
+    BranchKind,
+    BranchRecord,
+    ChunkedTrace,
+    Trace,
+    load_any_trace,
+    write_chunked_trace,
+)
 from repro.workloads import generate_benchmark, generate_suite
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BranchKind",
     "BranchPredictor",
     "BranchRecord",
+    "ChunkedTrace",
     "CompositeOptions",
     "Coordinator",
     "DistBackend",
     "Experiment",
+    "IngestError",
+    "IngestReport",
     "GEHLPredictor",
     "IMLIOuterHistoryComponent",
     "IMLISameIterationComponent",
@@ -101,7 +115,10 @@ __all__ = [
     "default_registry",
     "generate_benchmark",
     "generate_suite",
+    "ingest_trace",
+    "load_any_trace",
     "register_configuration",
     "register_profile",
     "simulate",
+    "write_chunked_trace",
 ]

@@ -24,6 +24,7 @@ import csv
 import io
 import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.analysis.tables import format_table
@@ -32,6 +33,7 @@ from repro.api.specs import PredictorSpec
 from repro.sim.metrics import mpki_delta
 from repro.sim.runner import ConfigurationRun, SuiteRunner
 from repro.store import ResultStore
+from repro.trace.chunked import ChunkedTrace, load_any_trace
 from repro.trace.trace import Trace
 
 __all__ = ["Experiment", "ResultSet"]
@@ -207,6 +209,11 @@ class Experiment:
         is given).
     traces:
         Explicit traces to evaluate on, instead of a generated suite.
+        Entries may be :class:`Trace` /
+        :class:`~repro.trace.chunked.ChunkedTrace` objects or ``str`` /
+        ``Path`` values naming a trace file or chunked trace directory
+        (loaded via :func:`~repro.trace.chunked.load_any_trace`, so
+        ingested traces are addressable by path like workloads).
     benchmarks:
         Restrict the generated suite to these benchmark names.
     length:
@@ -252,7 +259,7 @@ class Experiment:
         specs: Iterable[SpecLike],
         *,
         suite: Optional[str] = "cbp4like",
-        traces: Optional[Sequence[Trace]] = None,
+        traces: Optional[Sequence[Union[Trace, ChunkedTrace, str, Path]]] = None,
         benchmarks: Optional[Sequence[str]] = None,
         length: int = 2500,
         profile: str = "default",
@@ -291,7 +298,14 @@ class Experiment:
         self.backend = backend
         self.progress = progress
         self.batch = batch
-        self._traces = list(traces) if traces is not None else None
+        self._traces = (
+            [
+                load_any_trace(trace) if isinstance(trace, (str, Path)) else trace
+                for trace in traces
+            ]
+            if traces is not None
+            else None
+        )
         self._runner: Optional[SuiteRunner] = None
 
     def traces(self) -> List[Trace]:

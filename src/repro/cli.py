@@ -20,6 +20,12 @@ The CLI exposes the library's main workflows without writing any Python:
 ``python -m repro trace``
     Generate one synthetic benchmark trace and write it to a file in the
     library's text format.
+``python -m repro ingest``
+    Convert external trace files (CBP-style text, raw binary events) into
+    the library's formats -- including the chunked on-disk layout that
+    streams through simulation in bounded memory -- and validate or
+    inspect them (see ``docs/TRACES.md``).  Ingested traces plug into
+    ``simulate`` / ``sweep`` / ``serve`` / ``submit`` via ``--trace``.
 ``python -m repro store``
     Inspect and maintain the persistent result store (``ls`` / ``gc`` /
     ``export`` / ``import``).  ``simulate`` and ``sweep`` read and write
@@ -56,6 +62,7 @@ from repro.api.specs import PredictorSpec
 from repro.common.progress import ProgressPrinter
 from repro.sim.runner import ConfigurationRun, SuiteRunner
 from repro.store import ResultStore
+from repro.trace.chunked import load_any_trace
 from repro.trace.trace import save_trace, save_trace_binary
 from repro.workloads.suites import (
     benchmark_names,
@@ -115,7 +122,17 @@ def _add_workload_arguments(parser: argparse.ArgumentParser, length: int) -> Non
         "--progress", action="store_true",
         help="print per-cell completion (done/total, cells/s, ETA) on stderr",
     )
+    _add_trace_argument(parser)
     _add_batch_arguments(parser)
+
+
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", action="append", default=[], metavar="PATH", dest="trace_paths",
+        help="simulate over this trace file or chunked trace directory "
+             "(repeatable; see 'repro ingest'); replaces the synthetic "
+             "suite when given",
+    )
 
 
 def _add_batch_arguments(parser: argparse.ArgumentParser) -> None:
@@ -183,6 +200,7 @@ def _add_suite_arguments(parser: argparse.ArgumentParser, length: int = 2500) ->
     parser.add_argument(
         "--profile", default="small", choices=default_registry().profile_names(),
     )
+    _add_trace_argument(parser)
 
 
 def _add_export_arguments(parser: argparse.ArgumentParser) -> None:
@@ -343,6 +361,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", dest="json_output", action="store_true",
         help="machine-readable output: one JSON array of cell summaries",
     )
+    store_ls.add_argument(
+        "--traces", dest="traces_view", action="store_true",
+        help="group by trace instead: one row per trace fingerprint in the "
+             "store, with the trace names seen and the cell count",
+    )
     _add_store_argument(store_ls)
     store_gc = store_sub.add_parser(
         "gc", help="delete stored cells older than a cut-off"
@@ -368,6 +391,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON document to ingest ('-' for stdin, the default)",
     )
     _add_store_argument(store_import)
+
+    ingest = subparsers.add_parser(
+        "ingest",
+        help="convert, validate or inspect external trace files (docs/TRACES.md)",
+    )
+    ingest_sub = ingest.add_subparsers(dest="ingest_command", required=True)
+    convert = ingest_sub.add_parser(
+        "convert", help="convert an external trace into a library format"
+    )
+    convert.add_argument("input", help="source trace file (gzip transparently)")
+    convert.add_argument(
+        "--output", "-o", required=True, metavar="PATH",
+        help="destination: a directory for --layout chunked, a file for "
+             "--layout binary",
+    )
+    convert.add_argument(
+        "--reader", default="auto",
+        help="input format: 'auto' (sniff), or one of the registered "
+             "readers (cbp, raw)",
+    )
+    convert.add_argument(
+        "--layout", default="chunked", choices=("chunked", "binary"),
+        help="output layout (default: chunked -- streams through "
+             "simulation in bounded memory)",
+    )
+    convert.add_argument(
+        "--chunk-branches", type=_positive_int, default=None, metavar="N",
+        help="records per chunk of the chunked layout (default: 250000; "
+             "part of the trace's identity -- see docs/TRACES.md)",
+    )
+    convert.add_argument(
+        "--name", default=None,
+        help="trace name (default: derived from the input file name)",
+    )
+    convert.add_argument(
+        "--on-error", default="reject", choices=("reject", "repair", "skip"),
+        help="malformed-event policy: reject the file (default), repair "
+             "fixable fields, or skip bad events (counted + attributed)",
+    )
+    convert.add_argument(
+        "--default-gap", type=int, default=4, metavar="N",
+        help="instruction gap assumed when the input carries none (default: 4)",
+    )
+    convert.add_argument(
+        "--json", dest="json_output", action="store_true",
+        help="print the ingest report as JSON instead of prose",
+    )
+    validate = ingest_sub.add_parser(
+        "validate", help="re-hash a trace file or chunked directory"
+    )
+    validate.add_argument("path", help="trace file or chunked trace directory")
+    inspect = ingest_sub.add_parser(
+        "inspect", help="print a trace's identity and shape"
+    )
+    inspect.add_argument("path", help="trace file or chunked trace directory")
+    inspect.add_argument(
+        "--json", dest="json_output", action="store_true",
+        help="machine-readable output",
+    )
 
     trace = subparsers.add_parser("trace", help="generate one benchmark trace to a file")
     trace.add_argument("--suite", default="cbp4like", choices=suite_names())
@@ -528,6 +610,7 @@ def _command_simulate(args: argparse.Namespace) -> int:
         experiment = Experiment(
             specs,
             suite=args.suite,
+            traces=_cli_traces(args),
             benchmarks=_split(args.benchmarks),
             length=args.length,
             profile=args.profile,
@@ -540,9 +623,7 @@ def _command_simulate(args: argparse.Namespace) -> int:
     except (KeyError, TypeError, ValueError) as error:
         print(_error_message(error), file=sys.stderr)
         return 2
-    print(results.report(
-        title=f"MPKI on {args.suite} ({args.length} conditional branches per benchmark)"
-    ))
+    print(results.report(title=f"MPKI on {_workload_description(args)}"))
     _report_store_use(store)
     return 0
 
@@ -585,6 +666,8 @@ def _resume_command(args: argparse.Namespace, store: ResultStore) -> str:
     parts = ["repro", "sweep", "--base", args.base]
     for raw in args.param:
         parts += ["--param", raw]
+    for path in getattr(args, "trace_paths", []) or []:
+        parts += ["--trace", path]
     parts += ["--suite", args.suite]
     if args.benchmarks:
         parts += ["--benchmarks", args.benchmarks]
@@ -618,6 +701,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         experiment = Experiment(
             specs,
             suite=args.suite,
+            traces=_cli_traces(args),
             benchmarks=_split(args.benchmarks),
             length=args.length,
             profile=args.profile,
@@ -649,8 +733,8 @@ def _command_sweep(args: argparse.Namespace) -> int:
             )
         return 130
     print(results.report(
-        title=f"Sweep over {base_spec.label} on {args.suite} "
-              f"({len(specs)} specs, {args.length} branches per benchmark)"
+        title=f"Sweep over {base_spec.label} on {_workload_description(args)} "
+              f"({len(specs)} specs)"
     ))
     if args.json_output:
         _write_output(results.to_json(), args.json_output)
@@ -664,7 +748,28 @@ def _log_stderr(message: str) -> None:
     print(message, file=sys.stderr)
 
 
+def _cli_traces(args: argparse.Namespace) -> Optional[list]:
+    """Traces named by repeatable ``--trace`` (None when not given)."""
+    paths = getattr(args, "trace_paths", None)
+    if not paths:
+        return None
+    try:
+        return [load_any_trace(path) for path in paths]
+    except OSError as error:
+        raise ValueError(f"cannot load trace: {error}") from None
+
+
+def _workload_description(args: argparse.Namespace) -> str:
+    paths = getattr(args, "trace_paths", None)
+    if paths:
+        return f"{len(paths)} ingested trace(s)"
+    return f"{args.suite} ({args.length} branches per benchmark)"
+
+
 def _suite_traces(args: argparse.Namespace) -> list:
+    explicit = _cli_traces(args)
+    if explicit is not None:
+        return explicit
     traces = generate_suite(
         args.suite,
         target_conditional_branches=args.length,
@@ -697,8 +802,8 @@ def _print_sweep_results(
     args: argparse.Namespace, results: ResultSet, specs: Sequence[PredictorSpec]
 ) -> None:
     print(results.report(
-        title=f"Sweep over {results.baseline} on {args.suite} "
-              f"({len(specs)} specs, {args.length} branches per benchmark)"
+        title=f"Sweep over {results.baseline} on {_workload_description(args)} "
+              f"({len(specs)} specs)"
     ))
     if args.json_output:
         _write_output(results.to_json(), args.json_output)
@@ -925,6 +1030,8 @@ def _command_store(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.store_command == "ls" and getattr(args, "traces_view", False):
+        return _store_ls_traces(store, args)
     if args.store_command == "ls":
         entries = []
         for record in store.records():
@@ -1020,11 +1127,149 @@ def _command_store(args: argparse.Namespace) -> int:
     )  # pragma: no cover
 
 
+def _store_ls_traces(store: ResultStore, args: argparse.Namespace) -> int:
+    """``repro store ls --traces``: one row per trace fingerprint.
+
+    Maps the fingerprints the store keys cells under back to the trace
+    names its records carry, so an operator can tell which stored cells
+    belong to which ingested trace (re-ingesting with a different chunk
+    geometry yields a new fingerprint -- and therefore a new row).
+    """
+    by_fingerprint: Dict[str, Dict[str, Any]] = {}
+    for record in store.records():
+        fingerprint = record.get("trace_fingerprint") or "?"
+        result = record.get("result", {})
+        entry = by_fingerprint.setdefault(
+            fingerprint, {"fingerprint": fingerprint, "names": set(), "cells": 0}
+        )
+        entry["cells"] += 1
+        name = result.get("trace_name")
+        if name:
+            entry["names"].add(str(name))
+    entries = [
+        {
+            "fingerprint": entry["fingerprint"],
+            "names": sorted(entry["names"]),
+            "cells": entry["cells"],
+        }
+        for entry in sorted(by_fingerprint.values(), key=lambda e: e["fingerprint"])
+    ]
+    if args.json_output:
+        print(json.dumps(entries, indent=2))
+        return 0
+    for entry in entries:
+        names = ", ".join(entry["names"]) or "?"
+        print(
+            f"{entry['fingerprint'][:16]}  {entry['cells']:>5} cell(s)  {names}"
+        )
+    print(
+        f"{len(entries)} trace(s) across {sum(e['cells'] for e in entries)} "
+        f"record(s) in {store.root}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _format_age(seconds: float) -> str:
     for unit, size in (("d", 86400.0), ("h", 3600.0), ("m", 60.0)):
         if seconds >= size:
             return f"{seconds / size:.1f}{unit}"
     return f"{seconds:.0f}s"
+
+
+def _command_ingest(args: argparse.Namespace) -> int:
+    from repro.ingest import IngestError, ingest_trace
+    from repro.trace.chunked import DEFAULT_CHUNK_BRANCHES, ChunkedTrace
+
+    if args.ingest_command == "convert":
+        try:
+            report = ingest_trace(
+                args.input,
+                args.output,
+                reader=args.reader,
+                name=args.name,
+                layout=args.layout,
+                chunk_branches=(
+                    args.chunk_branches
+                    if args.chunk_branches is not None
+                    else DEFAULT_CHUNK_BRANCHES
+                ),
+                on_error=args.on_error,
+                default_gap=args.default_gap,
+            )
+        except IngestError as error:
+            print(f"ingest rejected: {error}", file=sys.stderr)
+            return 1
+        except (OSError, ValueError) as error:
+            print(f"ingest failed: {_error_message(error)}", file=sys.stderr)
+            return 2
+        if args.json_output:
+            print(json.dumps(report.to_dict(), indent=2))
+            return 0
+        chunks = f", {report.chunks} chunk(s)" if report.chunks else ""
+        repairs = (
+            f", {report.repaired} repaired, {report.skipped} skipped"
+            if report.repaired or report.skipped
+            else ""
+        )
+        print(
+            f"ingested {report.records} record(s) "
+            f"({report.conditional} conditional) from {report.input} "
+            f"via the {report.reader} reader into {report.output} "
+            f"({report.layout} layout{chunks}{repairs}, "
+            f"{report.branches_per_second:,.0f} branches/s)"
+        )
+        print(f"fingerprint: {report.fingerprint}")
+        for attribution in report.attributions:
+            print(f"  note: {attribution}", file=sys.stderr)
+        return 0
+    try:
+        trace = load_any_trace(args.path)
+    except (OSError, ValueError) as error:
+        print(_error_message(error), file=sys.stderr)
+        return 2
+    chunked = isinstance(trace, ChunkedTrace)
+    if args.ingest_command == "validate":
+        try:
+            if chunked:
+                trace.validate()
+        except (OSError, ValueError) as error:
+            print(f"validation failed: {_error_message(error)}", file=sys.stderr)
+            return 1
+        print(
+            f"{args.path}: OK ({len(trace)} record(s), "
+            f"fingerprint {trace.fingerprint()})"
+        )
+        return 0
+    if args.ingest_command == "inspect":
+        info: Dict[str, Any] = {
+            "path": args.path,
+            "name": trace.name,
+            "layout": "chunked" if chunked else "monolithic",
+            "records": len(trace),
+            "conditional": trace.conditional_count,
+            "instructions": trace.instruction_count,
+            "fingerprint": trace.fingerprint(),
+            "metadata": dict(trace.metadata),
+        }
+        if chunked:
+            info["chunks"] = trace.chunk_count
+            info["chunk_branches"] = trace.manifest.get("chunk_branches")
+        if args.json_output:
+            print(json.dumps(info, indent=2))
+            return 0
+        for key in (
+            "name", "layout", "records", "conditional", "instructions",
+            "chunks", "chunk_branches", "fingerprint",
+        ):
+            if key in info:
+                print(f"{key}: {info[key]}")
+        for key, value in sorted(info["metadata"].items()):
+            print(f"metadata.{key}: {value}")
+        return 0
+    raise AssertionError(
+        f"unhandled ingest command {args.ingest_command!r}"
+    )  # pragma: no cover
 
 
 def _command_trace(args: argparse.Namespace) -> int:
@@ -1062,6 +1307,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_experiment(args)
     if args.command == "store":
         return _command_store(args)
+    if args.command == "ingest":
+        return _command_ingest(args)
     if args.command == "trace":
         return _command_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -57,6 +57,7 @@ from repro.predictors.composites import CompositeOptions
 from repro.sim.engine import SimulationResult
 from repro.sim.runner import DEFAULT_BATCH_CELLS, ConfigurationRun
 from repro.store import ResultStore, profile_content, result_from_dict, result_to_dict
+from repro.trace.chunked import ChunkedTrace, load_chunked_trace
 from repro.trace.trace import Trace
 
 __all__ = ["Coordinator", "SweepJob", "JobFailed"]
@@ -276,6 +277,10 @@ class Coordinator:
         self._leases: Dict[int, _Lease] = {}
         self._jobs: Dict[int, SweepJob] = {}
         self._traces: Dict[str, str] = {}  # fingerprint -> base64 payload
+        #: Chunked traces by manifest fingerprint.  Chunks are read from
+        #: disk per ``fetch_trace_chunk`` request, so a huge trace costs
+        #: the coordinator one manifest of memory, never its records.
+        self._chunked: Dict[str, ChunkedTrace] = {}
         self._cell_ids = itertools.count(1)
         self._job_ids = itertools.count(1)
         self._conn_ids = itertools.count(1)
@@ -420,6 +425,14 @@ class Coordinator:
         behaviour -- match ``repro sweep --store`` byte for byte.
         ``cells`` optionally restricts the job to a subset of
         ``(label, trace index)`` pairs.
+
+        Traces may be monolithic :class:`Trace` objects (shipped to
+        workers as one base64 frame; a trace over the frame cap raises the
+        actionable :class:`ProtocolError` from
+        :func:`~repro.dist.protocol.encode_trace`) or
+        :class:`~repro.trace.chunked.ChunkedTrace` objects, which workers
+        fetch chunk by chunk -- store keys use the manifest fingerprint,
+        identical to local streaming simulation.
         """
         if registry is None:
             from repro.api.registry import default_registry
@@ -436,8 +449,16 @@ class Coordinator:
                     "profile": protocol.profile_to_payload(sizes),
                 }
             )
-        payloads = {trace.fingerprint(): protocol.encode_trace(trace) for trace in traces}
-        return self._admit(entries, list(traces), payloads, track_per_pc, cells)
+        payloads: Dict[str, str] = {}
+        chunked: Dict[str, ChunkedTrace] = {}
+        for trace in traces:
+            if getattr(trace, "iter_chunks", None) is not None:
+                chunked[trace.fingerprint()] = trace
+            else:
+                payloads[trace.fingerprint()] = protocol.encode_trace(trace)
+        return self._admit(
+            entries, list(traces), payloads, track_per_pc, cells, chunked
+        )
 
     def _admit(
         self,
@@ -446,6 +467,7 @@ class Coordinator:
         trace_payloads: Dict[str, str],
         track_per_pc: bool,
         cells: Optional[Sequence[Tuple[str, int]]] = None,
+        chunked: Optional[Dict[str, ChunkedTrace]] = None,
     ) -> SweepJob:
         """Expand spec entries x traces into cells and enqueue them."""
         labels = [str(entry["label"]) for entry in entries]
@@ -467,9 +489,19 @@ class Coordinator:
             )
             self._jobs[job.job_id] = job
             self._traces.update(trace_payloads)
+            if chunked:
+                self._chunked.update(chunked)
             if self.journal is not None:
                 # Durable before any cell is served: a crash after this
-                # point recovers the job, byte-identical.
+                # point recovers the job, byte-identical.  Chunked traces
+                # are journalled by manifest directory (their bytes
+                # already live durably on disk), monolithic ones inline.
+                def _journal_trace(trace: Trace) -> Any:
+                    fingerprint = trace.fingerprint()
+                    if chunked and fingerprint in chunked:
+                        return {"chunked": str(chunked[fingerprint].directory)}
+                    return trace_payloads[fingerprint]
+
                 try:
                     self.journal.record_admit(
                         job.job_id,
@@ -478,8 +510,7 @@ class Coordinator:
                             "track_per_pc": bool(track_per_pc),
                             "specs": [dict(entry) for entry in entries],
                             "traces": [
-                                trace_payloads[trace.fingerprint()]
-                                for trace in traces
+                                _journal_trace(trace) for trace in traces
                             ],
                             "cells": (
                                 sorted([label, index] for label, index in wanted)
@@ -791,6 +822,8 @@ class Coordinator:
             live = {cell.trace_fingerprint for cell in self._cells.values()}
             for fingerprint in [fp for fp in self._traces if fp not in live]:
                 del self._traces[fingerprint]
+            for fingerprint in [fp for fp in self._chunked if fp not in live]:
+                del self._chunked[fingerprint]
             self._cond.notify_all()
 
     def _release_owner(self, owner: int) -> None:
@@ -960,11 +993,62 @@ class Coordinator:
                 elif kind == "fetch_trace":
                     fingerprint = frame.get("fingerprint")
                     payload = self._traces.get(fingerprint)
-                    if payload is None:
-                        raise ProtocolError(f"unknown trace {fingerprint!r}")
+                    if payload is not None:
+                        protocol.write_frame(
+                            wfile,
+                            {
+                                "type": "trace",
+                                "fingerprint": fingerprint,
+                                "data": payload,
+                            },
+                        )
+                    else:
+                        chunked = self._chunked.get(fingerprint)
+                        if chunked is None:
+                            raise ProtocolError(f"unknown trace {fingerprint!r}")
+                        # Chunked trace: ship the manifest; the worker
+                        # pulls chunks with fetch_trace_chunk frames.
+                        protocol.write_frame(
+                            wfile,
+                            {
+                                "type": "trace",
+                                "fingerprint": fingerprint,
+                                "manifest": chunked.manifest,
+                            },
+                        )
+                elif kind == "fetch_trace_chunk":
+                    fingerprint = frame.get("fingerprint")
+                    index = frame.get("chunk")
+                    chunked = self._chunked.get(fingerprint)
+                    if chunked is None:
+                        raise ProtocolError(
+                            f"unknown chunked trace {fingerprint!r}"
+                        )
+                    if (
+                        not isinstance(index, int)
+                        or not 0 <= index < chunked.chunk_count
+                    ):
+                        raise ProtocolError(
+                            f"chunk index {index!r} out of range for trace "
+                            f"{fingerprint!r} ({chunked.chunk_count} chunks)"
+                        )
+                    try:
+                        # Read per request: the coordinator never holds
+                        # more than one chunk's bytes in memory.
+                        data = chunked.chunk_path(index).read_bytes()
+                    except OSError as error:
+                        raise ProtocolError(
+                            f"chunk {index} of trace {fingerprint!r} is "
+                            f"unreadable: {error}"
+                        ) from None
                     protocol.write_frame(
                         wfile,
-                        {"type": "trace", "fingerprint": fingerprint, "data": payload},
+                        {
+                            "type": "trace_chunk",
+                            "fingerprint": fingerprint,
+                            "chunk": index,
+                            "data": protocol.encode_chunk(data),
+                        },
                     )
                 elif kind == "result":
                     cell_id = frame.get("cell")
@@ -1102,9 +1186,27 @@ class Coordinator:
             )
         traces: List[Trace] = []
         payloads: Dict[str, str] = {}
+        chunked: Dict[str, ChunkedTrace] = {}
         for raw in raw_traces:
+            if isinstance(raw, dict) and isinstance(raw.get("chunked"), str):
+                # A coordinator-local chunked trace referenced by manifest
+                # directory -- written by the journal (and only meaningful
+                # on this host, which is where the journal replays).
+                try:
+                    trace = load_chunked_trace(raw["chunked"])
+                except (OSError, ValueError) as error:
+                    raise ProtocolError(
+                        f"chunked trace {raw['chunked']!r} is unreadable: "
+                        f"{error}"
+                    ) from None
+                traces.append(trace)
+                chunked[trace.fingerprint()] = trace
+                continue
             if not isinstance(raw, str):
-                raise ProtocolError("each trace must be a base64 string")
+                raise ProtocolError(
+                    "each trace must be a base64 string or a "
+                    "{'chunked': <manifest dir>} reference"
+                )
             trace = protocol.decode_trace(raw)
             traces.append(trace)
             payloads[trace.fingerprint()] = raw
@@ -1117,5 +1219,6 @@ class Coordinator:
             except (TypeError, ValueError) as error:
                 raise ProtocolError(f"malformed 'cells' entry: {error}") from None
         return self._admit(
-            entries, traces, payloads, bool(frame.get("track_per_pc")), cells
+            entries, traces, payloads, bool(frame.get("track_per_pc")), cells,
+            chunked,
         )

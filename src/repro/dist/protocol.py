@@ -36,6 +36,18 @@ Worker session::
                                               # must not be renewed again
     -> {"type": "fetch_trace", "fingerprint": "..."}
     <- {"type": "trace", "fingerprint": "...", "data": "<base64>"}
+       | {"type": "trace", "fingerprint": "...", "manifest": {...}}
+                                              # chunked trace: the reply
+                                              # carries the RPCHUNK1 manifest
+                                              # instead of "data"; the worker
+                                              # then fetches chunks (additive
+                                              # key -- a monolithic trace
+                                              # never triggers it)
+    -> {"type": "fetch_trace_chunk", "fingerprint": "...", "chunk": 3}
+    <- {"type": "trace_chunk", "fingerprint": "...", "chunk": 3,
+        "data": "<base64>"}                   # one RPTRACE1 chunk blob; the
+                                              # worker verifies it against the
+                                              # manifest's chunk fingerprint
     -> {"type": "result", "cell": 7, "result": {...}}   # result_to_dict form
     <- {"type": "ack", "cell": 7, "accepted": true}
 
@@ -97,6 +109,9 @@ __all__ = [
     "expect",
     "encode_trace",
     "decode_trace",
+    "encode_chunk",
+    "decode_chunk",
+    "MAX_TRACE_PAYLOAD",
     "profile_to_payload",
     "profile_from_payload",
 ]
@@ -189,9 +204,32 @@ def connect(host: str, port: int, timeout: Optional[float] = None) -> socket.soc
 # --------------------------------------------------------------------------- #
 
 
+#: Ceiling on one base64 trace (or chunk) payload inside a frame, leaving
+#: headroom for the frame's JSON envelope under :data:`MAX_FRAME_BYTES`.
+MAX_TRACE_PAYLOAD = MAX_FRAME_BYTES - 4096
+
+
 def encode_trace(trace: Trace) -> str:
-    """Base64 text of the trace's compact binary form."""
-    return base64.b64encode(trace_to_bytes(trace)).decode("ascii")
+    """Base64 text of the trace's compact binary form.
+
+    A trace too large for one frame raises an actionable
+    :class:`ProtocolError` up front -- naming the trace and its size --
+    instead of letting the peer's frame cap reject the bytes later.  Big
+    traces are not meant to travel monolithically at all: ingest them into
+    the chunked layout (``repro ingest convert --chunk-branches ...``) and
+    submit the :class:`~repro.trace.chunked.ChunkedTrace`, which ships
+    per-chunk via ``fetch_trace_chunk`` frames.
+    """
+    data = base64.b64encode(trace_to_bytes(trace)).decode("ascii")
+    if len(data) > MAX_TRACE_PAYLOAD:
+        raise ProtocolError(
+            f"trace {trace.name!r} ({len(trace)} records) encodes to "
+            f"{len(data)} bytes, over the {MAX_FRAME_BYTES}-byte frame cap; "
+            f"convert it to the chunked layout with 'repro ingest convert "
+            f"--chunk-branches N' and submit the chunked directory instead "
+            f"of a monolithic trace"
+        )
+    return data
 
 
 def decode_trace(data: str) -> Trace:
@@ -204,6 +242,31 @@ def decode_trace(data: str) -> Trace:
         return trace_from_bytes(raw, source="trace payload")
     except (ValueError, KeyError, TypeError, EOFError) as error:
         raise ProtocolError(f"invalid trace payload: {error}") from None
+
+
+def encode_chunk(data: bytes) -> str:
+    """Base64 text of one chunk file's bytes (a complete RPTRACE1 blob).
+
+    Chunk payloads obey the same frame-cap headroom as monolithic traces;
+    the chunked writer's default sizing keeps chunks far below it, so this
+    only trips on layouts written with an absurd ``--chunk-branches``.
+    """
+    payload = base64.b64encode(data).decode("ascii")
+    if len(payload) > MAX_TRACE_PAYLOAD:
+        raise ProtocolError(
+            f"trace chunk encodes to {len(payload)} bytes, over the "
+            f"{MAX_FRAME_BYTES}-byte frame cap; re-ingest the trace with a "
+            f"smaller --chunk-branches"
+        )
+    return payload
+
+
+def decode_chunk(data: str) -> bytes:
+    """Inverse of :func:`encode_chunk` (bytes only; the caller decodes)."""
+    try:
+        return base64.b64decode(data.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError, AttributeError) as error:
+        raise ProtocolError(f"invalid trace chunk payload: {error}") from None
 
 
 def profile_to_payload(profile: SizeProfile) -> Dict[str, Any]:

@@ -2,7 +2,9 @@
 
 A worker is a loop around one TCP connection: lease up to ``--batch``
 cells sharing one trace, make sure that trace is cached locally (fetching
-it from the coordinator on first use; the cache is a small LRU), build
+it from the coordinator on first use; the cache is a small LRU -- chunked
+traces arrive as a manifest and stream chunk files on demand into a
+worker-local spool, keeping memory bounded by the chunk size), build
 one predictor per cell from its self-contained spec payload, simulate the
 whole grant in one :func:`~repro.sim.engine.simulate_many` traversal, and
 upload one result per cell.  With ``jobs > 1`` the batched simulations
@@ -43,6 +45,7 @@ from __future__ import annotations
 import os
 import random
 import socket
+import tempfile
 import threading
 import time
 from collections import OrderedDict
@@ -59,6 +62,7 @@ from repro.sim.runner import (
     _simulate_spec_batch,
 )
 from repro.store import ResultStore, result_to_dict
+from repro.trace.chunked import ChunkedTrace, validate_manifest
 from repro.trace.trace import Trace
 
 __all__ = [
@@ -172,6 +176,13 @@ class Worker:
         #: Reconnect attempts that succeeded (visible to tests/operators).
         self.reconnects = 0
         self._traces: "OrderedDict[str, Trace]" = OrderedDict()
+        # Chunked traces spool their fetched chunk files here (one subdir
+        # per trace); created lazily, removed when the worker returns.
+        self._spool: Optional[tempfile.TemporaryDirectory] = None
+        # The live session's (rfile, wfile): chunk-fetch hooks go through
+        # this indirection so a cached ChunkedTrace keeps working after a
+        # reconnect replaces the streams.
+        self._session_streams: Optional[Tuple[Any, Any]] = None
         # Exactly one request/response exchange may be in flight on the
         # shared socket: the main loop and the heartbeat thread both take
         # this around every (write frame, read reply) pair.
@@ -217,7 +228,54 @@ class Worker:
             protocol.write_frame(wfile, frame)
             return protocol.expect(protocol.read_frame(rfile), *replies)
 
-    def _trace_for(self, rfile, wfile, item: Dict[str, Any]) -> Trace:
+    def _fetch_chunk(self, fingerprint: str, index: int) -> bytes:
+        """Chunk-fetch hook for a :class:`ChunkedTrace`: one
+        ``fetch_trace_chunk`` exchange on the *current* session's streams
+        (resolved per call, so the hook survives reconnects)."""
+        streams = self._session_streams
+        if streams is None:
+            raise ProtocolError(
+                f"no live coordinator session to fetch chunk {index} "
+                f"of trace {fingerprint[:12]}"
+            )
+        rfile, wfile = streams
+        reply = self._request(
+            rfile, wfile,
+            {"type": "fetch_trace_chunk", "fingerprint": fingerprint, "chunk": index},
+            "trace_chunk",
+        )
+        if reply.get("fingerprint") != fingerprint or reply.get("chunk") != index:
+            raise ProtocolError(
+                f"coordinator sent chunk {reply.get('chunk')!r} of trace "
+                f"{str(reply.get('fingerprint'))[:12]} for requested "
+                f"chunk {index} of {fingerprint[:12]}"
+            )
+        return protocol.decode_chunk(reply.get("data", ""))
+
+    def _chunked_trace(self, fingerprint: str, manifest: Any) -> ChunkedTrace:
+        """Build a spooled, fetch-on-demand trace from a manifest reply."""
+        if not isinstance(manifest, dict):
+            raise ProtocolError("trace frame without data or manifest")
+        try:
+            manifest = validate_manifest(manifest, source="coordinator manifest")
+        except ValueError as error:
+            raise ProtocolError(str(error)) from None
+        if manifest["fingerprint"] != fingerprint:
+            raise ProtocolError(
+                f"coordinator sent manifest {manifest['fingerprint'][:12]} "
+                f"for requested {fingerprint[:12]}"
+            )
+        if self._spool is None:
+            self._spool = tempfile.TemporaryDirectory(prefix="repro-worker-spool-")
+        spool_dir = Path(self._spool.name) / fingerprint[:16]
+        spool_dir.mkdir(parents=True, exist_ok=True)
+        return ChunkedTrace(
+            spool_dir,
+            manifest=manifest,
+            fetch=lambda index: self._fetch_chunk(fingerprint, index),
+        )
+
+    def _trace_for(self, rfile, wfile, item: Dict[str, Any]) -> Union[Trace, ChunkedTrace]:
         fingerprint = item["trace"]
         trace = self._traces.get(fingerprint)
         if trace is not None:
@@ -228,12 +286,18 @@ class Worker:
             {"type": "fetch_trace", "fingerprint": fingerprint},
             "trace",
         )
-        trace = protocol.decode_trace(reply.get("data", ""))
-        if trace.fingerprint() != fingerprint:
-            raise ProtocolError(
-                f"coordinator sent trace {trace.fingerprint()[:12]} "
-                f"for requested {fingerprint[:12]}"
-            )
+        if "data" in reply:
+            trace = protocol.decode_trace(reply.get("data", ""))
+            if trace.fingerprint() != fingerprint:
+                raise ProtocolError(
+                    f"coordinator sent trace {trace.fingerprint()[:12]} "
+                    f"for requested {fingerprint[:12]}"
+                )
+        else:
+            # Chunked trace: the reply carries only the manifest; chunk
+            # files stream on demand into this worker's spool directory
+            # and at most ``cache_chunks`` decoded chunks stay in memory.
+            trace = self._chunked_trace(fingerprint, reply.get("manifest"))
         self._traces[fingerprint] = trace
         while len(self._traces) > self.trace_cache:
             self._traces.popitem(last=False)  # evict least recently used
@@ -427,6 +491,9 @@ class Worker:
         finally:
             if pool is not None:
                 pool.shutdown(wait=False, cancel_futures=True)
+            if self._spool is not None:
+                self._spool.cleanup()
+                self._spool = None
 
     def _session(self, sock: socket.socket, pool: Optional[ProcessPoolExecutor]) -> bool:
         """One connection's worth of serving.  ``True`` means a clean end
@@ -434,6 +501,7 @@ class Worker:
         raises and the caller decides whether to reconnect."""
         rfile = sock.makefile("rb")
         wfile = sock.makefile("wb")
+        self._session_streams = (rfile, wfile)
         heartbeat: Optional[threading.Thread] = None
         heartbeat_stop = threading.Event()
         try:
@@ -477,6 +545,7 @@ class Worker:
             heartbeat_stop.set()
             if heartbeat is not None:
                 heartbeat.join(timeout=2)
+            self._session_streams = None
             for stream in (wfile, rfile):
                 try:
                     stream.close()
@@ -560,6 +629,12 @@ class Worker:
                     rfile, wfile, group, entries, trace, track_per_pc
                 )
             else:
+                ensure_local = getattr(trace, "ensure_local", None)
+                if ensure_local is not None:
+                    # Pickling a ChunkedTrace into a pool child drops its
+                    # fetch hook (the child has no coordinator session),
+                    # so every chunk file must be spooled to disk first.
+                    ensure_local()
                 future = pool.submit(
                     _simulate_batch_with_chaos, entries, trace, track_per_pc
                 )

@@ -1,0 +1,186 @@
+"""Gatekeeper validation between trace readers and the trace writers.
+
+Readers (:mod:`repro.ingest.readers`) parse external formats into
+:class:`~repro.ingest.readers.RawEvent` streams without judging them; the
+gatekeeper is the single place ingest semantics are enforced, so every
+reader gets the same policy surface:
+
+``reject``
+    Raise :class:`IngestError` on the first bad event, naming the source
+    location and the offending content (the default -- an ingested trace
+    should be exactly what the input said).
+
+``repair``
+    Fix what is unambiguously fixable (a not-taken unconditional branch is
+    forced taken, a missing target becomes the fall-through ``pc + 1``, an
+    out-of-range gap is clamped) and count the repairs; unfixable events
+    still raise.
+
+``skip``
+    Drop bad events and count them; the report says how many and shows the
+    first few attributions.
+
+Sanity checks cover field ranges (the columnar storage holds signed 64-bit
+values), kind codes, taken-flag encoding, and a monotonicity guard on
+source attribution so a buggy reader cannot silently interleave streams.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from repro.ingest.readers import RawEvent
+from repro.trace.branch import (
+    CONDITIONAL_CODE,
+    KIND_FROM_CODE,
+    BranchRecord,
+)
+
+__all__ = [
+    "IngestError",
+    "Gatekeeper",
+    "POLICIES",
+]
+
+POLICIES = ("reject", "repair", "skip")
+
+#: Columnar storage is signed 64-bit (`array("q")`).
+_MAX_FIELD = 2**63 - 1
+
+#: How many bad-event attributions the report keeps verbatim.
+_KEPT_ATTRIBUTIONS = 5
+
+
+def _source_position(source: str) -> Optional[int]:
+    """Numeric position of a ``"line N"`` / ``"offset N"`` attribution."""
+    _, _, tail = source.rpartition(" ")
+    return int(tail) if tail.isdigit() else None
+
+
+class IngestError(ValueError):
+    """An input event failed validation (carries source attribution)."""
+
+    def __init__(self, message: str, source: str = "", raw: str = "") -> None:
+        detail = message
+        if source:
+            detail = f"{source}: {detail}"
+        if raw:
+            detail = f"{detail} (input: {raw[:120]!r})"
+        super().__init__(detail)
+        self.source = source
+        self.raw = raw
+
+
+class Gatekeeper:
+    """Validate a :class:`RawEvent` stream into :class:`BranchRecord`\\ s.
+
+    One instance handles one ingest run; the counters (``accepted``,
+    ``repaired``, ``skipped``) and ``attributions`` feed the ingest
+    report.
+    """
+
+    def __init__(
+        self, policy: str = "reject", default_gap: int = 4
+    ) -> None:
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown ingest policy {policy!r}; use one of "
+                f"{', '.join(POLICIES)}"
+            )
+        if default_gap < 0:
+            raise ValueError(f"default gap must be non-negative, got {default_gap}")
+        self.policy = policy
+        self.default_gap = default_gap
+        self.accepted = 0
+        self.repaired = 0
+        self.skipped = 0
+        self.attributions: List[str] = []
+
+    # ------------------------------------------------------------------ #
+
+    def _problem(self, event: RawEvent, message: str) -> None:
+        """Record (skip) or raise one unfixable problem, per policy."""
+        if self.policy == "skip":
+            self.skipped += 1
+            if len(self.attributions) < _KEPT_ATTRIBUTIONS:
+                where = event.source or f"event {self.accepted + self.skipped}"
+                self.attributions.append(f"{where}: {message}")
+            return
+        raise IngestError(message, source=event.source, raw=event.raw)
+
+    def _repair(self, event: RawEvent, message: str) -> bool:
+        """Whether a fixable problem may be repaired (else treat as problem)."""
+        if self.policy == "repair":
+            self.repaired += 1
+            if len(self.attributions) < _KEPT_ATTRIBUTIONS:
+                where = event.source or f"event {self.accepted + self.skipped}"
+                self.attributions.append(f"{where}: repaired: {message}")
+            return True
+        self._problem(event, message)
+        return False
+
+    def validate(self, events: Iterable[RawEvent]) -> Iterator[BranchRecord]:
+        """Yield validated records, applying the policy to bad events."""
+        last_position = -1
+        for event in events:
+            position = _source_position(event.source)
+            if position is not None:
+                # Monotonic source order is a *reader* invariant, not an
+                # input-quality issue, so it raises under every policy.
+                if position < last_position:
+                    raise IngestError(
+                        f"events out of source order ({event.source} after "
+                        f"position {last_position})",
+                        source=event.source,
+                        raw=event.raw,
+                    )
+                last_position = position
+            record = self._check(event)
+            if record is not None:
+                self.accepted += 1
+                yield record
+
+    def _check(self, event: RawEvent) -> Optional[BranchRecord]:
+        if event.pc < 0 or event.pc > _MAX_FIELD:
+            self._problem(event, "malformed event (unparseable or pc out of range)")
+            return None
+        if not 0 <= event.kind_code < len(KIND_FROM_CODE):
+            self._problem(event, f"unknown branch kind code {event.kind_code}")
+            return None
+        taken = event.taken
+        if not isinstance(taken, bool):
+            if taken in (0, 1):
+                taken = bool(taken)
+            else:
+                if not self._repair(event, f"taken flag {taken!r} coerced to True"):
+                    return None
+                taken = True
+        if event.kind_code != CONDITIONAL_CODE and not taken:
+            if not self._repair(
+                event, "non-conditional branch marked not-taken; forced taken"
+            ):
+                return None
+            taken = True
+        target = event.target
+        if target is None:
+            target = event.pc + 1
+        elif target < 0 or target > _MAX_FIELD:
+            if not self._repair(
+                event, f"target {target} out of range; using fall-through"
+            ):
+                return None
+            target = event.pc + 1
+        gap = event.gap
+        if gap is None:
+            gap = self.default_gap
+        elif gap < 0 or gap > _MAX_FIELD:
+            if not self._repair(event, f"instruction gap {gap} clamped to 0"):
+                return None
+            gap = 0
+        return BranchRecord(
+            pc=event.pc,
+            target=target,
+            taken=taken,
+            kind=KIND_FROM_CODE[event.kind_code],
+            instruction_gap=gap,
+        )

@@ -1,0 +1,278 @@
+"""Readers for external branch-trace formats.
+
+A reader turns some on-disk representation of a branch trace into a stream
+of :class:`RawEvent` objects -- the *unvalidated* intermediate form the
+gatekeeper (:mod:`repro.ingest.gatekeeper`) then checks and converts into
+:class:`~repro.trace.branch.BranchRecord` instances.  Readers never
+validate semantics themselves; they only parse, attributing every event to
+its source location (line number or byte offset) so a downstream rejection
+can name exactly what was wrong and where.
+
+Two formats ship:
+
+``cbp``
+    CBP-championship-style text: one branch per line, ``pc taken
+    [target] [kind] [gap]``, ``#`` comments, hex (``0x``) or decimal
+    addresses, ``1/0/T/N/y/n`` outcomes.  ``.gz`` inputs are decompressed
+    transparently.
+
+``raw``
+    A raw binary event stream: little-endian packed records of
+    ``<pc:u64, target:u64, taken:u8, kind:u8, gap:u32>`` (26 bytes per
+    event), the kind byte using the columnar trace's stable codes.
+
+New formats register with :func:`register_reader`; :func:`resolve_reader`
+picks one by name or sniffs the input (``auto``).
+"""
+
+from __future__ import annotations
+
+import gzip
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterator, Optional, Union
+
+__all__ = [
+    "RawEvent",
+    "TraceReader",
+    "CBPTextReader",
+    "RawBinaryReader",
+    "reader_names",
+    "register_reader",
+    "resolve_reader",
+]
+
+
+@dataclass
+class RawEvent:
+    """One parsed-but-unvalidated branch event.
+
+    ``kind_code`` uses :data:`repro.trace.branch.KIND_TO_CODE` values;
+    ``gap`` is the instruction gap (``None`` when the format does not carry
+    one -- the gatekeeper substitutes the pipeline's default).  ``source``
+    names where the event came from (``"line 12"`` / ``"offset 104"``) and
+    ``raw`` preserves the original text (or a hex excerpt) for error
+    attribution.
+    """
+
+    pc: int
+    taken: bool
+    target: Optional[int] = None
+    kind_code: int = 0
+    gap: Optional[int] = None
+    source: str = ""
+    raw: str = ""
+
+
+class TraceReader:
+    """Structural interface of a trace reader.
+
+    Subclasses set :attr:`name`, implement :meth:`events` and optionally
+    :meth:`sniff` (used by ``auto`` format detection).
+    """
+
+    name = "abstract"
+
+    def events(self, path: Path) -> Iterator[RawEvent]:
+        raise NotImplementedError
+
+    @classmethod
+    def sniff(cls, path: Path) -> bool:
+        """Whether this reader thinks it can parse ``path``."""
+        return False
+
+
+def _open_maybe_gzip(path: Path):
+    if path.suffix == ".gz":
+        return gzip.open(path, "rt", encoding="utf-8", errors="replace")
+    return path.open("rt", encoding="utf-8", errors="replace")
+
+
+_TAKEN_TOKENS = {
+    "1": True, "0": False,
+    "t": True, "n": False,
+    "y": True,
+    "taken": True, "not-taken": False, "nottaken": False,
+}
+
+_KIND_TOKENS = {
+    "cond": 0, "c": 0, "conditional": 0,
+    "uncond": 1, "u": 1, "j": 1, "unconditional": 1,
+    "call": 2,
+    "ret": 3, "return": 3,
+    "ind": 4, "indirect": 4,
+}
+
+
+class CBPTextReader(TraceReader):
+    """CBP-style text traces: ``pc taken [target] [kind] [gap]`` per line."""
+
+    name = "cbp"
+
+    def events(self, path: Path) -> Iterator[RawEvent]:
+        with _open_maybe_gzip(path) as stream:
+            for line_number, raw_line in enumerate(stream, start=1):
+                line = raw_line.strip()
+                if not line or line.startswith("#") or line.startswith("//"):
+                    continue
+                yield self._parse_line(line, line_number)
+
+    @staticmethod
+    def _parse_line(line: str, line_number: int) -> RawEvent:
+        fields = line.split()
+        source = f"line {line_number}"
+        event = RawEvent(pc=-1, taken=False, source=source, raw=line)
+        try:
+            event.pc = int(fields[0], 0)
+        except ValueError:
+            return event  # pc stays -1: the gatekeeper attributes the junk
+        if len(fields) < 2:
+            event.pc = -1  # a lone pc is malformed, not a valid event
+            return event
+        taken = _TAKEN_TOKENS.get(fields[1].lower())
+        if taken is None:
+            event.pc = -1
+            return event
+        event.taken = taken
+        if len(fields) >= 3:
+            try:
+                event.target = int(fields[2], 0)
+            except ValueError:
+                event.pc = -1
+                return event
+        if len(fields) >= 4:
+            kind = _KIND_TOKENS.get(fields[3].lower())
+            if kind is None:
+                event.pc = -1
+                return event
+            event.kind_code = kind
+        if len(fields) >= 5:
+            try:
+                event.gap = int(fields[4], 0)
+            except ValueError:
+                event.pc = -1
+                return event
+        return event
+
+    @classmethod
+    def sniff(cls, path: Path) -> bool:
+        try:
+            with _open_maybe_gzip(path) as stream:
+                for _ in range(50):
+                    line = stream.readline()
+                    if not line:
+                        break
+                    line = line.strip()
+                    if not line or line.startswith("#") or line.startswith("//"):
+                        continue
+                    fields = line.split()
+                    if len(fields) < 2:
+                        return False
+                    int(fields[0], 0)
+                    return fields[1].lower() in _TAKEN_TOKENS
+        except (OSError, ValueError, UnicodeError):
+            return False
+        return False
+
+
+#: Packed layout of one raw binary event (little-endian).
+_RAW_EVENT = struct.Struct("<QQBBI")
+
+#: Optional magic prefix of raw binary event streams (written by exporters
+#: that want sniffable files); a stream may also start directly with events.
+RAW_MAGIC = b"RPRAW1\n"
+
+
+class RawBinaryReader(TraceReader):
+    """Raw binary branch events: ``<pc:u64 target:u64 taken:u8 kind:u8 gap:u32>``."""
+
+    name = "raw"
+
+    #: Events decoded per read (bounds memory on huge inputs).
+    BATCH = 65536
+
+    def events(self, path: Path) -> Iterator[RawEvent]:
+        size = _RAW_EVENT.size
+        opener = gzip.open if path.suffix == ".gz" else open
+        with opener(path, "rb") as stream:
+            head = stream.read(len(RAW_MAGIC))
+            if head == RAW_MAGIC:
+                offset, pending = len(RAW_MAGIC), b""
+            else:
+                offset, pending = 0, head
+            while True:
+                block = stream.read(size * self.BATCH)
+                data = pending + block
+                usable = len(data) - (len(data) % size)
+                for start in range(0, usable, size):
+                    pc, target, taken, kind, gap = _RAW_EVENT.unpack_from(
+                        data, start
+                    )
+                    yield RawEvent(
+                        pc=pc,
+                        taken=bool(taken) if taken in (0, 1) else taken,
+                        target=target,
+                        kind_code=kind,
+                        gap=gap,
+                        source=f"offset {offset + start}",
+                        raw=data[start : start + size].hex(),
+                    )
+                pending = data[usable:]
+                offset += usable
+                if not block:
+                    break
+            if pending:
+                yield RawEvent(
+                    pc=-1,
+                    taken=False,
+                    source=f"offset {offset}",
+                    raw=pending.hex(),
+                )
+
+    @classmethod
+    def sniff(cls, path: Path) -> bool:
+        try:
+            opener = gzip.open if path.suffix == ".gz" else open
+            with opener(path, "rb") as stream:
+                return stream.read(len(RAW_MAGIC)) == RAW_MAGIC
+        except OSError:
+            return False
+
+
+_READERS: Dict[str, Callable[[], TraceReader]] = {}
+
+
+def register_reader(name: str, factory: Callable[[], TraceReader]) -> None:
+    """Register a reader factory under ``name`` (overwrites silently)."""
+    _READERS[name] = factory
+
+
+def reader_names() -> list:
+    """Registered reader names (sorted)."""
+    return sorted(_READERS)
+
+
+def resolve_reader(name: str, path: Union[str, Path]) -> TraceReader:
+    """Instantiate a reader by name, or sniff the input when ``"auto"``."""
+    path = Path(path)
+    if name != "auto":
+        try:
+            return _READERS[name]()
+        except KeyError:
+            raise ValueError(
+                f"unknown trace reader {name!r}; registered: "
+                f"{', '.join(reader_names())}"
+            ) from None
+    for factory in _READERS.values():
+        reader = factory()
+        if type(reader).sniff(path):
+            return reader
+    raise ValueError(
+        f"could not auto-detect the format of {path}; pass --reader "
+        f"({', '.join(reader_names())})"
+    )
+
+
+register_reader(CBPTextReader.name, CBPTextReader)
+register_reader(RawBinaryReader.name, RawBinaryReader)

@@ -90,12 +90,39 @@ class SimulationResult:
 
 
 def supports_fast_path(predictor: BranchPredictor, trace: Trace) -> bool:
-    """``True`` when ``predictor`` and ``trace`` support the columnar fast path."""
+    """``True`` when ``predictor`` and ``trace`` support the columnar fast path.
+
+    A trace qualifies either by exposing its columns directly
+    (:meth:`~repro.trace.trace.Trace.columns`) or by streaming columnar
+    blocks (``iter_chunks()``, the
+    :class:`~repro.trace.chunked.ChunkedTrace` protocol).
+    """
     return (
         getattr(predictor, "predict_update", None) is not None
         and getattr(predictor, "observe_pc", None) is not None
-        and getattr(trace, "columns", None) is not None
+        and (
+            getattr(trace, "columns", None) is not None
+            or getattr(trace, "iter_chunks", None) is not None
+        )
     )
+
+
+def _column_blocks(trace: Trace):
+    """Yield ``(pc, target, taken, kind, gap)`` column blocks of a trace.
+
+    A monolithic :class:`Trace` is one block (its own columns -- zero
+    copies, identical to the pre-chunking code path); a chunked trace
+    yields one block per chunk, so the fast loops below stream it in
+    bounded memory.  The simulation state is carried across blocks by the
+    callers, which makes block iteration bit-identical to a single flat
+    traversal by construction: the per-branch step sequence is unchanged.
+    """
+    chunks = getattr(trace, "iter_chunks", None)
+    if chunks is not None:
+        for chunk in chunks():
+            yield chunk.columns()
+    else:
+        yield trace.columns()
 
 
 def simulate(
@@ -203,8 +230,13 @@ def _simulate_columns(
     warmup_limit: int,
     track_per_pc: bool,
 ) -> tuple:
-    """Fast path: columnar iteration and the combined-step protocol."""
-    pcs, targets, takens, kinds, gaps = trace.columns()
+    """Fast path: columnar iteration and the combined-step protocol.
+
+    Iterates the trace's column blocks (one block for a monolithic trace,
+    one per chunk for a chunked trace) with all measurement state carried
+    across block boundaries, so streaming is bit-identical to a flat
+    traversal while peak memory stays bounded by the block size.
+    """
     predict_update = predictor.predict_update
     observe_pc = predictor.observe_pc
     conditional_code = CONDITIONAL_CODE
@@ -213,36 +245,40 @@ def _simulate_columns(
     if warmup_limit == 0 and not track_per_pc:
         # The hottest loop: no warm-up or per-PC bookkeeping, and the
         # measured totals equal the trace's cached aggregates.
-        for pc, target, taken, kind, gap in zip(pcs, targets, takens, kinds, gaps):
-            if kind != conditional_code:
-                observe_pc(pc)
-            elif predict_update(pc, target, taken, kind, gap) != taken:
-                mispredictions += 1
+        for pcs, targets, takens, kinds, gaps in _column_blocks(trace):
+            for pc, target, taken, kind, gap in zip(
+                pcs, targets, takens, kinds, gaps
+            ):
+                if kind != conditional_code:
+                    observe_pc(pc)
+                elif predict_update(pc, target, taken, kind, gap) != taken:
+                    mispredictions += 1
         return mispredictions, trace.conditional_count, trace.instruction_count, {}
 
     measured_conditional = 0
     measured_instructions = 0
     per_pc: Dict[int, int] = defaultdict(int)
     seen_conditional = 0
-    for index in range(len(pcs)):
-        pc = pcs[index]
-        kind = kinds[index]
-        if kind != conditional_code:
-            observe_pc(pc)
-            if seen_conditional >= warmup_limit:
-                measured_instructions += gaps[index] + 1
-            continue
-        taken = takens[index]
-        prediction = predict_update(pc, targets[index], taken, kind, gaps[index])
-        seen_conditional += 1
-        if seen_conditional <= warmup_limit:
-            continue
-        measured_conditional += 1
-        measured_instructions += gaps[index] + 1
-        if prediction != taken:
-            mispredictions += 1
-            if track_per_pc:
-                per_pc[pc] += 1
+    for pcs, targets, takens, kinds, gaps in _column_blocks(trace):
+        for index in range(len(pcs)):
+            pc = pcs[index]
+            kind = kinds[index]
+            if kind != conditional_code:
+                observe_pc(pc)
+                if seen_conditional >= warmup_limit:
+                    measured_instructions += gaps[index] + 1
+                continue
+            taken = takens[index]
+            prediction = predict_update(pc, targets[index], taken, kind, gaps[index])
+            seen_conditional += 1
+            if seen_conditional <= warmup_limit:
+                continue
+            measured_conditional += 1
+            measured_instructions += gaps[index] + 1
+            if prediction != taken:
+                mispredictions += 1
+                if track_per_pc:
+                    per_pc[pc] += 1
 
     return mispredictions, measured_conditional, measured_instructions, dict(per_pc)
 
@@ -340,23 +376,24 @@ def _simulate_columns_batch_fast(
 
     The traversal state (tuple unpack, kind test) is shared across the
     batch; per predictor and branch only the combined-step call and the
-    misprediction compare remain.
+    misprediction compare remain.  Chunked traces stream block by block
+    with the counters carried across boundaries.
     """
-    pcs, targets, takens, kinds, gaps = trace.columns()
     steps = [predictor.predict_update for predictor in predictors]
     observes = [predictor.observe_pc for predictor in predictors]
     conditional_code = CONDITIONAL_CODE
     counts = [0] * len(steps)
-    for pc, target, taken, kind, gap in zip(pcs, targets, takens, kinds, gaps):
-        if kind != conditional_code:
-            for observe in observes:
-                observe(pc)
-        else:
-            index = 0
-            for step in steps:
-                if step(pc, target, taken, kind, gap) != taken:
-                    counts[index] += 1
-                index += 1
+    for pcs, targets, takens, kinds, gaps in _column_blocks(trace):
+        for pc, target, taken, kind, gap in zip(pcs, targets, takens, kinds, gaps):
+            if kind != conditional_code:
+                for observe in observes:
+                    observe(pc)
+            else:
+                index = 0
+                for step in steps:
+                    if step(pc, target, taken, kind, gap) != taken:
+                        counts[index] += 1
+                    index += 1
     return counts
 
 
@@ -371,9 +408,10 @@ def _simulate_columns_batch(
     The warm-up window is a property of the trace position, so the
     ``seen_conditional`` counter -- and therefore the measured totals --
     are shared by every predictor in the batch, exactly as N independent
-    :func:`simulate` calls would each compute them.
+    :func:`simulate` calls would each compute them.  The counter survives
+    block boundaries, so a warm-up window ending mid-chunk measures
+    exactly the same records as it would on the monolithic trace.
     """
-    pcs, targets, takens, kinds, gaps = trace.columns()
     steps = [predictor.predict_update for predictor in predictors]
     observes = [predictor.observe_pc for predictor in predictors]
     conditional_code = CONDITIONAL_CODE
@@ -382,32 +420,33 @@ def _simulate_columns_batch(
     measured_conditional = 0
     measured_instructions = 0
     seen_conditional = 0
-    for position in range(len(pcs)):
-        pc = pcs[position]
-        kind = kinds[position]
-        if kind != conditional_code:
-            for observe in observes:
-                observe(pc)
-            if seen_conditional >= warmup_limit:
-                measured_instructions += gaps[position] + 1
-            continue
-        taken = takens[position]
-        target = targets[position]
-        gap = gaps[position]
-        seen_conditional += 1
-        if seen_conditional <= warmup_limit:
+    for pcs, targets, takens, kinds, gaps in _column_blocks(trace):
+        for position in range(len(pcs)):
+            pc = pcs[position]
+            kind = kinds[position]
+            if kind != conditional_code:
+                for observe in observes:
+                    observe(pc)
+                if seen_conditional >= warmup_limit:
+                    measured_instructions += gaps[position] + 1
+                continue
+            taken = takens[position]
+            target = targets[position]
+            gap = gaps[position]
+            seen_conditional += 1
+            if seen_conditional <= warmup_limit:
+                for step in steps:
+                    step(pc, target, taken, kind, gap)
+                continue
+            measured_conditional += 1
+            measured_instructions += gap + 1
+            index = 0
             for step in steps:
-                step(pc, target, taken, kind, gap)
-            continue
-        measured_conditional += 1
-        measured_instructions += gap + 1
-        index = 0
-        for step in steps:
-            if step(pc, target, taken, kind, gap) != taken:
-                counts[index] += 1
-                if track_per_pc:
-                    per_pc_maps[index][pc] += 1
-            index += 1
+                if step(pc, target, taken, kind, gap) != taken:
+                    counts[index] += 1
+                    if track_per_pc:
+                        per_pc_maps[index][pc] += 1
+                index += 1
     return (
         counts,
         measured_conditional,

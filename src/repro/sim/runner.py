@@ -21,6 +21,13 @@ store.  Registry-named configurations and declarative
 explicit options) can be dispatched to any backend; configurations with
 custom (potentially unpicklable) factories or builder-based specs fall
 back to in-process simulation transparently.
+
+Traces are duck-typed: anything exposing ``name``, ``fingerprint()`` and
+the engine's column surface works, so
+:class:`~repro.trace.chunked.ChunkedTrace` objects stream through every
+backend in bounded memory -- memo keys, store cell keys and results are
+byte-identical to the same trace loaded monolithically (chunked traces
+pickle by directory, so the pool backend works unchanged).
 """
 
 from __future__ import annotations

@@ -9,21 +9,36 @@ test.  This package defines that stream:
 * :mod:`repro.trace.trace` -- the :class:`~repro.trace.trace.Trace`
   container plus a compact text serialisation so traces can be stored and
   re-used between runs.
+* :mod:`repro.trace.chunked` -- the chunked on-disk layout
+  (:class:`~repro.trace.chunked.ChunkedTrace`) that streams huge traces
+  through the engine in bounded memory; see ``docs/TRACES.md``.
 * :mod:`repro.trace.stats` -- descriptive statistics of a trace
   (branch/instruction counts, taken rates, per-PC footprints).
 """
 
 from repro.trace.branch import BranchKind, BranchRecord, conditional_branch
+from repro.trace.chunked import (
+    ChunkedTrace,
+    ChunkedTraceWriter,
+    load_any_trace,
+    load_chunked_trace,
+    write_chunked_trace,
+)
 from repro.trace.stats import TraceStatistics, compute_statistics
 from repro.trace.trace import Trace, load_trace, save_trace
 
 __all__ = [
     "BranchKind",
     "BranchRecord",
+    "ChunkedTrace",
+    "ChunkedTraceWriter",
     "Trace",
     "TraceStatistics",
     "compute_statistics",
     "conditional_branch",
+    "load_any_trace",
+    "load_chunked_trace",
     "load_trace",
     "save_trace",
+    "write_chunked_trace",
 ]

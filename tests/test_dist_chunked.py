@@ -1,0 +1,301 @@
+"""Chunked trace transfer over the dist protocol.
+
+Covers the additive wire frames (`fetch_trace` replies carrying a
+manifest, `fetch_trace_chunk` / `trace_chunk`), the worker-side spool and
+chunk cache, the actionable oversize error for monolithic traces, journal
+recovery of chunked jobs, and the acceptance end-to-end: a trace too
+large to travel monolithically is ingested into the chunked layout and
+swept through a real dist worker, bit-identical to serial simulation.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.api.experiment import Experiment
+from repro.api.registry import default_registry
+from repro.api.specs import PredictorSpec
+from repro.dist import Coordinator, Worker
+from repro.dist import protocol
+from repro.dist.protocol import ProtocolError
+from repro.ingest import ingest_trace
+from repro.sim.engine import simulate
+from repro.store import ResultStore
+from repro.trace.chunked import load_chunked_trace, write_chunked_trace
+from repro.workloads.suites import generate_suite
+
+LENGTH = 250
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_suite(
+        "cbp4like", target_conditional_branches=LENGTH, benchmarks=["SPEC2K6-00"]
+    )[0]
+
+
+@pytest.fixture(scope="module")
+def chunked(trace, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("dist-chunked") / "trace"
+    write_chunked_trace(trace, directory, chunk_branches=200)
+    return load_chunked_trace(directory)
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return [
+        PredictorSpec.from_named("tage-gsc", profile="small"),
+        PredictorSpec.from_named("tage-gsc", profile="small", imli_sic=True),
+    ]
+
+
+def _reference(specs, trace):
+    return {
+        spec.label: simulate(spec.resolve().build(), trace) for spec in specs
+    }
+
+
+def _run_worker(address, **kwargs):
+    host, port = address
+    kwargs.setdefault("reconnect", 0.75)
+    worker = Worker(host, port, **kwargs)
+    thread = threading.Thread(target=worker.run, daemon=True)
+    thread.start()
+    return worker, thread
+
+
+class _RawClient:
+    def __init__(self, address):
+        self.sock = socket.create_connection(address, timeout=10)
+        self.rfile = self.sock.makefile("rb")
+        self.wfile = self.sock.makefile("wb")
+
+    def request(self, frame):
+        protocol.write_frame(self.wfile, frame)
+        return protocol.read_frame(self.rfile)
+
+    def hello(self):
+        reply = self.request(
+            {"type": "hello", "role": "worker",
+             "protocol": protocol.PROTOCOL_VERSION, "worker": "raw"}
+        )
+        assert reply["type"] == "welcome"
+
+    def close(self):
+        for stream in (self.wfile, self.rfile):
+            try:
+                stream.close()
+            except OSError:
+                pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class TestOversizeGuard:
+    def test_encode_trace_error_is_actionable(self, trace, monkeypatch):
+        monkeypatch.setattr(protocol, "MAX_TRACE_PAYLOAD", 1024)
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.encode_trace(trace)
+        message = str(excinfo.value)
+        assert trace.name in message
+        assert str(len(trace)) in message
+        assert "repro ingest convert" in message
+        assert "chunked" in message
+
+    def test_submit_of_oversize_monolithic_trace_fails_fast(
+        self, trace, specs, monkeypatch
+    ):
+        monkeypatch.setattr(protocol, "MAX_TRACE_PAYLOAD", 1024)
+        coordinator = Coordinator(port=0)
+        coordinator.start()
+        try:
+            with pytest.raises(ProtocolError, match="repro ingest"):
+                coordinator.submit(specs, [trace])
+        finally:
+            coordinator.shutdown()
+
+    def test_encode_chunk_cap(self, monkeypatch):
+        monkeypatch.setattr(protocol, "MAX_TRACE_PAYLOAD", 16)
+        with pytest.raises(ProtocolError, match="chunk-branches"):
+            protocol.encode_chunk(b"x" * 64)
+
+
+class TestWireFrames:
+    def test_manifest_reply_and_chunk_fetch(self, chunked, specs):
+        coordinator = Coordinator(port=0)
+        address = coordinator.start()
+        coordinator.submit(specs, [chunked])
+        client = _RawClient(address)
+        try:
+            client.hello()
+            fingerprint = chunked.fingerprint()
+            reply = client.request(
+                {"type": "fetch_trace", "fingerprint": fingerprint}
+            )
+            assert reply["type"] == "trace"
+            assert "data" not in reply
+            assert reply["manifest"]["fingerprint"] == fingerprint
+            assert len(reply["manifest"]["chunks"]) == chunked.chunk_count
+            for index in range(chunked.chunk_count):
+                chunk = client.request(
+                    {
+                        "type": "fetch_trace_chunk",
+                        "fingerprint": fingerprint,
+                        "chunk": index,
+                    }
+                )
+                assert chunk["type"] == "trace_chunk"
+                assert chunk["chunk"] == index
+                data = protocol.decode_chunk(chunk["data"])
+                assert data == chunked.chunk_path(index).read_bytes()
+        finally:
+            client.close()
+            coordinator.shutdown()
+
+    def test_out_of_range_chunk_is_an_error(self, chunked, specs):
+        coordinator = Coordinator(port=0)
+        address = coordinator.start()
+        coordinator.submit(specs, [chunked])
+        client = _RawClient(address)
+        try:
+            client.hello()
+            reply = client.request(
+                {
+                    "type": "fetch_trace_chunk",
+                    "fingerprint": chunked.fingerprint(),
+                    "chunk": chunked.chunk_count + 3,
+                }
+            )
+            assert reply["type"] == "error"
+            assert "out of range" in reply["message"]
+        finally:
+            client.close()
+            coordinator.shutdown()
+
+
+class TestWorkerStreaming:
+    def test_acceptance_end_to_end(self, specs, tmp_path, monkeypatch):
+        """A trace over the frame cap, ingested and dist-swept chunk by
+        chunk: bit-identical results and store records, bounded memory.
+
+        The frame cap is lowered so the property "this trace cannot
+        travel monolithically, only chunked" holds at test size.
+        """
+        monkeypatch.setattr(protocol, "MAX_TRACE_PAYLOAD", 16384)
+        big = generate_suite(
+            "cbp4like", target_conditional_branches=900,
+            benchmarks=["SPEC2K6-04"],
+        )[0]
+        # Too big for one frame under the lowered cap...
+        with pytest.raises(ProtocolError, match="repro ingest"):
+            protocol.encode_trace(big)
+        # ...so it goes through the full ingest pipeline instead.
+        source = tmp_path / "big.txt"
+        with source.open("w", encoding="utf-8") as handle:
+            for i in range(len(big)):
+                record = big.record_at(i)
+                handle.write(
+                    f"{record.pc:#x} {int(record.taken)} {record.target:#x} "
+                    f"{record.kind.value} {record.instruction_gap}\n"
+                )
+        report = ingest_trace(
+            source, tmp_path / "big-chunked", reader="cbp",
+            name=big.name, chunk_branches=400,
+        )
+        streamed = load_chunked_trace(tmp_path / "big-chunked")
+        assert report.chunks == streamed.chunk_count >= 3
+
+        coordinator = Coordinator(port=0, store=str(tmp_path / "dist-store"))
+        address = coordinator.start()
+        job = coordinator.submit(specs, [streamed])
+        worker, thread = _run_worker(address, name="stream-worker", batch=4)
+        assert job.wait(timeout=120)
+        coordinator.shutdown()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+        # Memory bounding: the worker held the chunked trace, and its
+        # decoded-chunk cache never grows past the LRU bound.
+        cached = worker._traces[streamed.fingerprint()]
+        assert cached.chunk_count == streamed.chunk_count
+        assert len(cached._cache) <= 2
+        # The spool is cleaned up when the worker returns.
+        assert worker._spool is None
+
+        # Bit-identity vs a serial run over the same chunked directory.
+        serial = Experiment(
+            specs,
+            traces=[str(tmp_path / "big-chunked")],
+            profile="small",
+            store=str(tmp_path / "serial-store"),
+        ).run()
+        for spec in specs:
+            dist_result = job.slots[spec.label][0]
+            serial_result = serial.run_for(spec.label).results[0]
+            assert dist_result.mispredictions == serial_result.mispredictions
+            assert dist_result.conditional_branches == serial_result.conditional_branches
+            assert dist_result.instructions == serial_result.instructions
+
+        # Same cell keys, same record content, in both stores.
+        def _records(root):
+            store = ResultStore(root)
+            records = {}
+            for record in store.records():
+                doc = {k: v for k, v in record.items()
+                       if k in ("key", "trace_fingerprint", "result")}
+                records[doc["key"]] = json.dumps(doc, sort_keys=True)
+            return records
+
+        dist_records = _records(tmp_path / "dist-store")
+        serial_records = _records(tmp_path / "serial-store")
+        assert set(dist_records) == set(serial_records)
+        assert dist_records == serial_records
+
+    def test_pool_worker_spools_chunks(self, chunked, specs, trace):
+        coordinator = Coordinator(port=0)
+        address = coordinator.start()
+        job = coordinator.submit(specs, [chunked])
+        worker, thread = _run_worker(
+            address, name="pool-worker", jobs=2, batch=4
+        )
+        assert job.wait(timeout=120)
+        coordinator.shutdown()
+        thread.join(timeout=15)
+        assert not thread.is_alive()
+        reference = _reference(specs, trace)
+        for spec in specs:
+            got = job.slots[spec.label][0]
+            assert got.mispredictions == reference[spec.label].mispredictions
+
+
+class TestJournalRecovery:
+    def test_chunked_job_survives_coordinator_crash(
+        self, chunked, specs, trace, tmp_path
+    ):
+        journal = tmp_path / "journal.jsonl"
+        first = Coordinator(port=0, journal=str(journal))
+        first.start()
+        first.submit(specs, [chunked])
+        # Crash before any worker shows up.
+        first.shutdown(graceful=False)
+
+        second = Coordinator(port=0, journal=str(journal))
+        address = second.start()
+        assert len(second.recovered_jobs) == 1
+        job = second.recovered_jobs[0]
+        assert chunked.fingerprint() in second._chunked
+        worker, thread = _run_worker(address, name="recovery-worker", batch=4)
+        assert job.wait(timeout=120)
+        second.shutdown()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        reference = _reference(specs, trace)
+        for spec in specs:
+            got = job.slots[spec.label][0]
+            assert got.mispredictions == reference[spec.label].mispredictions
