@@ -93,11 +93,14 @@ def measure_sweep(
     """Best-of-``rounds`` specs/s for the batched grid (and serially).
 
     ``sweep_specs_per_s`` (the gated metric) drives all grid specs through
-    one :func:`~repro.sim.engine.simulate_many` traversal;
-    ``sweep_specs_per_s_serial`` replays the same grid per-cell for
-    comparison.  Fresh predictors per round, like :func:`measure`, and the
-    same ``use_fast_path`` semantics (``False`` = reference path, so
-    ``--no-fast-path`` degrades this metric too).
+    one :func:`~repro.sim.engine.simulate_many` traversal with shared-core
+    grouping on (the default -- the whole grid shares one TAGE core);
+    ``sweep_specs_per_s_unshared`` repeats it with ``share_cores=False``,
+    i.e. PR 5's batched path, so the gate pins the shared-core win
+    itself; ``sweep_specs_per_s_serial`` replays the same grid per-cell,
+    the pre-batching layout.  Fresh predictors per round, like
+    :func:`measure`, and the same ``use_fast_path`` semantics (``False``
+    = reference path, so ``--no-fast-path`` degrades this metric too).
     """
     from repro.sim.engine import simulate_many
 
@@ -105,6 +108,7 @@ def measure_sweep(
         get_benchmark(SUITE, BENCHMARK), target_conditional_branches=LENGTH
     )
     best_batched = 0.0
+    best_unshared = 0.0
     best_serial = 0.0
     for _ in range(rounds):
         predictors = _sweep_predictors()
@@ -117,12 +121,21 @@ def measure_sweep(
 
         predictors = _sweep_predictors()
         start = time.perf_counter()
+        simulate_many(
+            predictors, trace, use_fast_path=use_fast_path, share_cores=False
+        )
+        elapsed = time.perf_counter() - start
+        best_unshared = max(best_unshared, len(predictors) / elapsed)
+
+        predictors = _sweep_predictors()
+        start = time.perf_counter()
         for predictor in predictors:
             simulate(predictor, trace, use_fast_path=use_fast_path)
         elapsed = time.perf_counter() - start
         best_serial = max(best_serial, len(predictors) / elapsed)
     return {
         "sweep_specs_per_s": best_batched,
+        "sweep_specs_per_s_unshared": best_unshared,
         "sweep_specs_per_s_serial": best_serial,
     }
 
@@ -230,6 +243,10 @@ def _gate_metrics(document: Dict) -> Dict[str, float]:
     sweep = document.get("sweep")
     if isinstance(sweep, dict) and "specs_per_second" in sweep:
         metrics["sweep_specs_per_s"] = sweep["specs_per_second"]
+        if "specs_per_second_unshared" in sweep:
+            metrics["sweep_specs_per_s_unshared"] = sweep[
+                "specs_per_second_unshared"
+            ]
     ingest = document.get("ingest")
     if isinstance(ingest, dict):
         for key in ("ingest_branches_per_s", "streaming_branches_per_s"):
@@ -317,6 +334,9 @@ def main(argv=None) -> int:
             "grid": {"oh_update_delay": SWEEP_DELAYS},
             "specs": len(SWEEP_DELAYS),
             "specs_per_second": round(sweep["sweep_specs_per_s"], 3),
+            "specs_per_second_unshared": round(
+                sweep["sweep_specs_per_s_unshared"], 3
+            ),
             "specs_per_second_serial": round(
                 sweep["sweep_specs_per_s_serial"], 3
             ),

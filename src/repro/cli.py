@@ -142,11 +142,15 @@ def _add_batch_arguments(parser: argparse.ArgumentParser) -> None:
         "--batch", type=_positive_int, default=None, metavar="N",
         help="max same-trace (spec, trace) cells simulated per batched "
              "traversal (default: engine default); results are identical "
-             "at any setting",
+             "at any setting; distributed trace-affinity leases pick the "
+             "grant cap up from 'serve' (a grant holds up to "
+             "min(worker --batch, serve --batch) cells), and the printed "
+             "'repro sweep --resume' command carries this flag forward",
     )
     group.add_argument(
         "--no-batch", action="store_true",
-        help="disable same-trace cell batching (one simulation per cell)",
+        help="disable same-trace cell batching (one simulation per cell); "
+             "propagated by the printed resume command like --batch",
     )
 
 

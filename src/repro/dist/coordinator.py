@@ -55,7 +55,7 @@ from repro.dist.journal import CoordinatorJournal
 from repro.dist.protocol import ProtocolError
 from repro.predictors.composites import CompositeOptions
 from repro.sim.engine import SimulationResult
-from repro.sim.runner import DEFAULT_BATCH_CELLS, ConfigurationRun
+from repro.sim.runner import DEFAULT_BATCH_CELLS, ConfigurationRun, core_schedule_key
 from repro.store import ResultStore, profile_content, result_from_dict, result_to_dict
 from repro.trace.chunked import ChunkedTrace, load_chunked_trace
 from repro.trace.trace import Trace
@@ -97,6 +97,20 @@ class _Cell:
             "track_per_pc": self.job.track_per_pc,
             "store_key": self.store_key,
         }
+
+
+def _core_key(spec: PredictorSpec, profile_payload: Dict[str, Any]) -> str:
+    """Shared-core scheduling key of one admitted spec (best-effort).
+
+    Degrades to ``""`` on any resolution problem -- admission order is a
+    scheduling hint, never a correctness input.
+    """
+    try:
+        return core_schedule_key(
+            spec, protocol.profile_from_payload(profile_payload)
+        )
+    except Exception:
+        return ""
 
 
 @dataclass
@@ -522,11 +536,13 @@ class Coordinator:
                 except OSError as error:
                     self.log(f"journal: cannot record job admission: {error}")
             prefilled: List[Tuple[_Cell, SimulationResult]] = []
+            admitted: List[Tuple[int, str, int]] = []
             for entry in entries:
                 label = str(entry["label"])
                 spec_dict = entry["spec"]
                 spec = PredictorSpec.from_dict(spec_dict)  # validates
                 store_keys = self._store_keys(spec, entry["profile"], traces, job)
+                core_key = _core_key(spec, entry["profile"])
                 for index, trace in enumerate(traces):
                     if wanted is not None and (label, index) not in wanted:
                         continue
@@ -547,7 +563,15 @@ class Coordinator:
                     if stored is not None:
                         prefilled.append((cell, stored))
                     else:
-                        self._pending.append(cell.cell_id)
+                        admitted.append((index, core_key, cell.cell_id))
+            # Enqueue trace-major, and within one trace ordered by
+            # shared-core key (stable: cell-id creation order breaks
+            # ties), so trace-affinity lease grants hand workers
+            # same-core cells that ``simulate_many`` can fan out of one
+            # core.  Pure scheduling hint: grant composition never
+            # changes results.
+            admitted.sort(key=lambda item: (item[0], item[1], item[2]))
+            self._pending.extend(cell_id for _, _, cell_id in admitted)
             self.log(
                 f"job {job.job_id}: {job.total} cell(s) over {len(labels)} spec(s) "
                 f"x {len(traces)} trace(s)"

@@ -52,11 +52,13 @@ class IngestReport:
 
     @property
     def branches_per_second(self) -> float:
+        """Ingest throughput (0.0 when no time elapsed)."""
         if self.elapsed_seconds <= 0:
             return 0.0
         return self.records / self.elapsed_seconds
 
     def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe plain-dict form (the ``ingest convert --json`` output)."""
         return {
             "name": self.name,
             "input": self.input,

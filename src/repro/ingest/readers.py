@@ -75,6 +75,7 @@ class TraceReader:
     name = "abstract"
 
     def events(self, path: Path) -> Iterator[RawEvent]:
+        """Yield one :class:`RawEvent` per branch in ``path``."""
         raise NotImplementedError
 
     @classmethod
@@ -111,6 +112,7 @@ class CBPTextReader(TraceReader):
     name = "cbp"
 
     def events(self, path: Path) -> Iterator[RawEvent]:
+        """Yield events from a (possibly gzipped) CBP-style text file."""
         with _open_maybe_gzip(path) as stream:
             for line_number, raw_line in enumerate(stream, start=1):
                 line = raw_line.strip()
@@ -157,6 +159,7 @@ class CBPTextReader(TraceReader):
 
     @classmethod
     def sniff(cls, path: Path) -> bool:
+        """True when the first data line parses as ``pc taken ...``."""
         try:
             with _open_maybe_gzip(path) as stream:
                 for _ in range(50):
@@ -193,6 +196,7 @@ class RawBinaryReader(TraceReader):
     BATCH = 65536
 
     def events(self, path: Path) -> Iterator[RawEvent]:
+        """Decode fixed-size packed events in bounded-memory batches."""
         size = _RAW_EVENT.size
         opener = gzip.open if path.suffix == ".gz" else open
         with opener(path, "rb") as stream:
@@ -232,6 +236,7 @@ class RawBinaryReader(TraceReader):
 
     @classmethod
     def sniff(cls, path: Path) -> bool:
+        """True when the stream starts with :data:`RAW_MAGIC`."""
         try:
             opener = gzip.open if path.suffix == ".gz" else open
             with opener(path, "rb") as stream:

@@ -84,6 +84,33 @@ class AdderTree:
             append(selections)
         return total, all_selections
 
+    def compute_with_shared(
+        self,
+        pc: int,
+        state: SharedState,
+        shared_component: Optional[NeuralComponent],
+        shared_indices: Optional[List[int]],
+    ) -> Tuple[int, List[List[CounterSelection]]]:
+        """:meth:`compute`, reusing precomputed indices for one component.
+
+        The shared-core batch executor hashes a
+        :class:`~repro.predictors.components.GlobalHistoryComponent`'s
+        table indices once per group of predictors and hands them to each
+        member's adder tree here; every other component computes as usual.
+        With ``shared_component=None`` this is exactly :meth:`compute`.
+        """
+        total = 0
+        all_selections: List[List[CounterSelection]] = []
+        append = all_selections.append
+        for component in self.components:
+            if component is shared_component:
+                selections, contribution = component.select_sum_at(shared_indices)
+            else:
+                selections, contribution = component.select_sum(pc, state)
+            total += contribution
+            append(selections)
+        return total, all_selections
+
     # ------------------------------------------------------------------ #
     # Training
     # ------------------------------------------------------------------ #

@@ -220,6 +220,60 @@ class GlobalHistoryComponent(NeuralComponent):
             total += 2 * table.values[index] + 1
         return selections, total
 
+    def shared_index_geometry(self) -> tuple:
+        """Hashable geometry key for cross-predictor index sharing.
+
+        Two components with equal keys whose owning predictors share one
+        :class:`SharedState` compute identical table indices for every
+        branch: the folded registers are shape-deduplicated on the state
+        (equal lengths and widths resolve to the *same* fold objects) and
+        the path masks derive from the same path register.  The shared-core
+        batch executor (:mod:`repro.predictors.shared_core`) uses this to
+        hash once per group instead of once per head.  Only exact
+        :class:`GlobalHistoryComponent` instances may share -- subclasses
+        mix extra fields into the index (see
+        :class:`IMLICountHashedGlobalComponent`).
+        """
+        return (tuple(self.history_lengths), self.index_bits, self.use_path_history)
+
+    def compute_indices(self, pc: int, state: SharedState) -> List[int]:
+        """Per-table indices only (the hash half of :meth:`select_sum`)."""
+        path_bits = state.path_history.bits if self.use_path_history else 0
+        index_mask = self.index_mask
+        mask64 = MASK64
+        multiplier = MIX_ROUND_MULTIPLIER
+        key1 = MIX_ROUND_KEY + 1
+        key2 = MIX_ROUND_KEY + 2
+        final_multiplier = MIX_FINAL_MULTIPLIER
+        acc0 = MIX_ROUND_KEY ^ ((pc + MIX_ROUND_KEY) & mask64)
+        acc0 = (acc0 * multiplier) & mask64
+        acc0 ^= acc0 >> 27
+        indices = []
+        append = indices.append
+        for _table, folded, path_mask in self._rows:
+            acc = acc0 ^ ((folded.fold + key1) & mask64)
+            acc = (acc * multiplier) & mask64
+            acc ^= acc >> 27
+            acc ^= ((path_bits & path_mask) + key2) & mask64
+            acc = (acc * multiplier) & mask64
+            acc ^= acc >> 27
+            acc = (acc * final_multiplier) & mask64
+            append((acc ^ (acc >> 31)) & index_mask)
+        return indices
+
+    def select_sum_at(self, indices: Sequence[int]) -> tuple:
+        """The read half of :meth:`select_sum`, over precomputed indices."""
+        total = 0
+        selections = []
+        append = selections.append
+        row = 0
+        for table, _folded, _path_mask in self._rows:
+            index = indices[row]
+            row += 1
+            append((table, index))
+            total += 2 * table.values[index] + 1
+        return selections, total
+
     def storage_bits(self) -> int:
         return sum(table.storage_bits() for table in self.tables)
 

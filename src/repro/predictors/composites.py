@@ -39,11 +39,13 @@ from repro.trace.branch import BranchKind, BranchRecord
 
 __all__ = [
     "CompositeOptions",
+    "SharedCoreInfo",
     "SidecarPredictor",
     "SizeProfile",
     "build",
     "build_named",
     "configuration_names",
+    "core_key_for",
     "factory",
     "CONFIGURATIONS",
 ]
@@ -322,6 +324,139 @@ class CompositeOptions:
         return "+".join(parts)
 
 
+# --------------------------------------------------------------------------- #
+# Shared-core decomposition
+# --------------------------------------------------------------------------- #
+#
+# Every composite splits into a *core* -- the structures whose evolution
+# depends only on the branch stream -- and a *head* -- everything whose
+# behaviour depends on the configuration's corrector/sidecar knobs:
+#
+# * ``tage-gsc`` core: the :class:`SharedState` (global/path history, folded
+#   registers, IMLI counter, optional local-history table) plus the
+#   :class:`TAGEEngine`.  The TAGE engine's training
+#   (``train_fields(pc, taken, ctx)``) never reads the corrector or the
+#   final prediction, and the shared state advances as a pure function of
+#   the branch fields, so N configurations with identical core geometry
+#   evolve byte-identical cores regardless of their heads.
+# * ``gehl`` core: the :class:`SharedState` only (the whole adder tree is
+#   head; sharing the state still dedupes the folded-history maintenance
+#   across heads, since registered folds are shape-deduplicated pure
+#   functions of the global history).
+#
+# ``core_key_for`` captures exactly the knobs the core depends on;
+# everything else (IMLI-SIC/OH, ``oh_update_delay``, corrector sizing,
+# loop/wormhole sidecars, IMLI-hashed global tables) is head-only.
+# :mod:`repro.predictors.shared_core` uses this decomposition to drive one
+# core step and N head steps per branch for a batch of same-key specs.
+
+
+@dataclass(frozen=True)
+class SharedCoreInfo:
+    """How a composite predictor decomposes for shared-core batching.
+
+    Attached by :func:`build` to every options-based predictor as the
+    ``shared_core`` attribute: the hashable ``key`` groups batch members
+    that can share one core, and ``options`` / ``sizes`` let
+    :mod:`repro.predictors.shared_core` rebuild the member as a light head
+    over a shared core.
+    """
+
+    key: tuple
+    options: CompositeOptions
+    sizes: SizeProfile
+
+
+def core_key_for(options: CompositeOptions, sizes: SizeProfile) -> tuple:
+    """Hashable identity of the core that ``(options, sizes)`` would build.
+
+    Two specs whose keys compare equal evolve byte-identical cores over any
+    branch stream, so a batch of them can compute that core once per branch.
+    The key covers the base kind, the full base-engine geometry
+    (:class:`~repro.predictors.tage.TAGEConfig` /
+    :class:`~repro.predictors.gehl.GEHLConfig`, both frozen all-scalar
+    dataclasses) and the local-history-table geometry (``None`` without
+    ``local`` -- a ``+l`` spec never shares a core with a global-only one,
+    since the local table lives in the shared state).  Head-only knobs
+    (``imli_sic``, ``imli_oh``, ``oh_update_delay``, ``loop``, ``wormhole``,
+    ``imli_global_tables``, corrector sizing) deliberately do not appear.
+    """
+    local_geometry = (
+        (sizes.local_table_size, sizes.local_table_history_bits)
+        if options.local
+        else None
+    )
+    if options.base == "tage-gsc":
+        return ("tage-gsc", sizes.tage, local_geometry)
+    if options.base == "gehl":
+        return ("gehl", sizes.gehl, local_geometry)
+    raise ValueError(f"unknown base predictor {options.base!r}")
+
+
+def _head_components(
+    options: CompositeOptions, sizes: SizeProfile
+) -> List[NeuralComponent]:
+    """Fresh extra adder-tree components for one head (no shared state yet)."""
+    extra_components: List[NeuralComponent] = []
+    if options.imli_sic:
+        extra_components.append(
+            IMLISameIterationComponent(entries=sizes.sic_entries)
+        )
+    if options.imli_oh:
+        extra_components.append(
+            IMLIOuterHistoryComponent(
+                prediction_entries=sizes.oh_prediction_entries,
+                update_delay=options.oh_update_delay,
+            )
+        )
+    if options.local:
+        extra_components.append(
+            LocalHistoryComponent(
+                history_lengths=list(sizes.local_history_lengths),
+                entries=sizes.local_entries,
+            )
+        )
+    return extra_components
+
+
+def _imli_hashed_global(
+    options: CompositeOptions, sizes: SizeProfile, state
+) -> IMLICountHashedGlobalComponent:
+    """The optional IMLI-hashed global tables, bound to ``state``."""
+    entries = (
+        sizes.corrector.global_table_entries
+        if options.base == "tage-gsc"
+        else sizes.gehl.table_entries
+    )
+    return IMLICountHashedGlobalComponent(
+        state=state,
+        history_lengths=[9, 18][: options.imli_global_tables],
+        entries=entries,
+    )
+
+
+def _local_table(
+    options: CompositeOptions, sizes: SizeProfile
+) -> Optional[LocalHistoryTable]:
+    """The shared local-history table of a ``+l`` configuration (core state)."""
+    if not options.local:
+        return None
+    return LocalHistoryTable(sizes.local_table_size, sizes.local_table_history_bits)
+
+
+def _sidecar_parts(options: CompositeOptions, sizes: SizeProfile) -> Optional[tuple]:
+    """``(loop, wormhole, use_loop_prediction)`` for one head, or ``None``."""
+    if not (options.local or options.loop or options.wormhole):
+        return None
+    loop_predictor = LoopPredictor(LoopPredictorConfig(entries=sizes.loop_entries))
+    wormhole = (
+        WormholePredictor(loop_predictor, WormholePredictorConfig())
+        if options.wormhole
+        else None
+    )
+    return loop_predictor, wormhole, options.local or options.loop
+
+
 def build(
     options: CompositeOptions, profile: Union[str, SizeProfile] = "default"
 ) -> BranchPredictor:
@@ -343,55 +478,22 @@ def build(
     else:
         raise KeyError(f"unknown size profile {profile!r}; known: {sorted(_PROFILES)}")
 
-    extra_components: List[NeuralComponent] = []
-    oh_component: Optional[IMLIOuterHistoryComponent] = None
-    if options.imli_sic:
-        extra_components.append(
-            IMLISameIterationComponent(entries=sizes.sic_entries)
-        )
-    if options.imli_oh:
-        oh_component = IMLIOuterHistoryComponent(
-            prediction_entries=sizes.oh_prediction_entries,
-            update_delay=options.oh_update_delay,
-        )
-        extra_components.append(oh_component)
-    if options.local:
-        extra_components.append(
-            LocalHistoryComponent(
-                history_lengths=list(sizes.local_history_lengths),
-                entries=sizes.local_entries,
-            )
-        )
-    local_table = (
-        LocalHistoryTable(sizes.local_table_size, sizes.local_table_history_bits)
-        if options.local
-        else None
-    )
+    extra_components = _head_components(options, sizes)
+    local_table = _local_table(options, sizes)
 
     label = options.label()
     if options.base == "tage-gsc":
+        main = TAGEGSCPredictor(
+            config=TAGEGSCConfig(tage=sizes.tage, corrector=sizes.corrector),
+            extra_sc_components=extra_components,
+            local_history_table=local_table,
+            name=label,
+        )
         if options.imli_global_tables:
-            # The IMLI-hashed global tables need the shared state, so they are
-            # appended after the main predictor is built.
-            main = TAGEGSCPredictor(
-                config=TAGEGSCConfig(tage=sizes.tage, corrector=sizes.corrector),
-                extra_sc_components=extra_components,
-                local_history_table=local_table,
-                name=label,
-            )
+            # The IMLI-hashed global tables need the shared state, so they
+            # are appended after the main predictor is built.
             main.corrector.adder.components.append(
-                IMLICountHashedGlobalComponent(
-                    state=main.state,
-                    history_lengths=[9, 18][: options.imli_global_tables],
-                    entries=sizes.corrector.global_table_entries,
-                )
-            )
-        else:
-            main = TAGEGSCPredictor(
-                config=TAGEGSCConfig(tage=sizes.tage, corrector=sizes.corrector),
-                extra_sc_components=extra_components,
-                local_history_table=local_table,
-                name=label,
+                _imli_hashed_global(options, sizes, main.state)
             )
     elif options.base == "gehl":
         main = GEHLPredictor(
@@ -402,32 +504,27 @@ def build(
         )
         if options.imli_global_tables:
             main.adder.components.append(
-                IMLICountHashedGlobalComponent(
-                    state=main.state,
-                    history_lengths=[9, 18][: options.imli_global_tables],
-                    entries=sizes.gehl.table_entries,
-                )
+                _imli_hashed_global(options, sizes, main.state)
             )
     else:
         raise ValueError(f"unknown base predictor {options.base!r}")
 
-    needs_loop = options.local or options.loop or options.wormhole
-    if not needs_loop:
-        return main
-
-    loop_predictor = LoopPredictor(LoopPredictorConfig(entries=sizes.loop_entries))
-    wormhole = (
-        WormholePredictor(loop_predictor, WormholePredictorConfig())
-        if options.wormhole
-        else None
+    sidecars = _sidecar_parts(options, sizes)
+    if sidecars is None:
+        predictor: BranchPredictor = main
+    else:
+        loop_predictor, wormhole, use_loop_prediction = sidecars
+        predictor = SidecarPredictor(
+            main,
+            loop_predictor=loop_predictor,
+            wormhole=wormhole,
+            use_loop_prediction=use_loop_prediction,
+            name=label,
+        )
+    predictor.shared_core = SharedCoreInfo(
+        key=core_key_for(options, sizes), options=options, sizes=sizes
     )
-    return SidecarPredictor(
-        main,
-        loop_predictor=loop_predictor,
-        wormhole=wormhole,
-        use_loop_prediction=options.local or options.loop,
-        name=label,
-    )
+    return predictor
 
 
 # --------------------------------------------------------------------------- #

@@ -108,6 +108,37 @@ class StatisticalCorrector:
     ) -> CorrectorContext:
         """Fill ``context`` (reusable scratch) with the corrected prediction."""
         total, selections = self.adder.compute(pc, self.state)
+        return self._decide(total, selections, tage_prediction, context)
+
+    def predict_into_shared(
+        self,
+        pc: int,
+        tage_prediction: bool,
+        context: CorrectorContext,
+        shared_component,
+        shared_indices,
+    ) -> CorrectorContext:
+        """:meth:`predict_into` with one component's indices precomputed.
+
+        Used by the shared-core batch executor
+        (:mod:`repro.predictors.shared_core`): the global-history table
+        indices are identical for every corrector head over one shared
+        state, so the group hashes them once and each head only reads its
+        own counters.  Bit-identical to :meth:`predict_into`.
+        """
+        total, selections = self.adder.compute_with_shared(
+            pc, self.state, shared_component, shared_indices
+        )
+        return self._decide(total, selections, tage_prediction, context)
+
+    def _decide(
+        self,
+        total: int,
+        selections: list,
+        tage_prediction: bool,
+        context: CorrectorContext,
+    ) -> CorrectorContext:
+        """Apply the confidence-margin revert rule to a computed sum."""
         context.total = total
         context.selections = selections
         corrector_prediction = total >= 0

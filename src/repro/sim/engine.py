@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.predictors.base import BranchPredictor
+from repro.predictors.shared_core import plan_groups
 from repro.trace.branch import CONDITIONAL_CODE
 from repro.trace.trace import Trace
 
@@ -243,6 +244,20 @@ def _simulate_columns(
     mispredictions = 0
 
     if warmup_limit == 0 and not track_per_pc:
+        block_step = getattr(predictor, "predict_update_block", None)
+        if block_step is not None:
+            # Column-block protocol: the predictor consumes whole column
+            # blocks and returns its misprediction count, eliminating the
+            # per-branch Python dispatch entirely (see
+            # ``BimodalPredictor.predict_update_block``).
+            for pcs, targets, takens, kinds, gaps in _column_blocks(trace):
+                mispredictions += block_step(pcs, targets, takens, kinds, gaps)
+            return (
+                mispredictions,
+                trace.conditional_count,
+                trace.instruction_count,
+                {},
+            )
         # The hottest loop: no warm-up or per-PC bookkeeping, and the
         # measured totals equal the trace's cached aggregates.
         for pcs, targets, takens, kinds, gaps in _column_blocks(trace):
@@ -289,6 +304,7 @@ def simulate_many(
     warmup_fraction: float = 0.0,
     track_per_pc: bool = False,
     use_fast_path: Optional[bool] = None,
+    share_cores: Optional[bool] = None,
 ) -> List[SimulationResult]:
     """Replay ``trace`` through every predictor in one traversal.
 
@@ -301,6 +317,14 @@ def simulate_many(
     suite runner, the process-pool path and the distributed workers all
     group same-trace cells and drive them through here.
 
+    On top of the shared traversal, batch members that advertise the same
+    shared-core key (:mod:`repro.predictors.shared_core`) are executed as
+    one core plus N light heads -- the dominant TAGE/GEHL core work is
+    paid once per branch for the whole group.  Grouped members' original
+    predictor instances are left untouched (the group runs its own fresh
+    cores and heads), so don't rely on batch members being trained after
+    a grouped run; pass ``share_cores=False`` if you need that.
+
     Parameters match :func:`simulate` (``warmup_fraction`` and
     ``track_per_pc`` apply to every predictor in the batch).  The batched
     loop needs the fast-path protocol; with ``use_fast_path=None`` a batch
@@ -308,6 +332,10 @@ def simulate_many(
     :func:`simulate` calls (still bit-identical, each picking its own best
     path), ``True`` requires the fast path for the whole batch, and
     ``False`` forces the record-based reference path throughout.
+    ``share_cores=None`` (default) groups same-core members automatically;
+    ``False`` disables grouping and runs every member through its own
+    combined step, exactly as before this optimization existed.  Every
+    setting produces bit-identical results.
     """
     predictors = list(predictors)
     if not predictors:
@@ -346,11 +374,25 @@ def simulate_many(
         ]
 
     warmup_limit = int(trace.conditional_count * warmup_fraction)
-    if warmup_limit == 0 and not track_per_pc:
+    plan = None if share_cores is False else plan_groups(predictors)
+    if plan is not None:
+        groups, solos = plan
+        if warmup_limit == 0 and not track_per_pc:
+            counts = _simulate_columns_grouped_fast(predictors, trace, groups, solos)
+            measured_conditional = trace.conditional_count
+            measured_instructions = trace.instruction_count
+            per_pc_maps: List[Dict[int, int]] = [{} for _ in predictors]
+        else:
+            counts, measured_conditional, measured_instructions, per_pc_maps = (
+                _simulate_columns_grouped(
+                    predictors, trace, groups, solos, warmup_limit, track_per_pc
+                )
+            )
+    elif warmup_limit == 0 and not track_per_pc:
         counts = _simulate_columns_batch_fast(predictors, trace)
         measured_conditional = trace.conditional_count
         measured_instructions = trace.instruction_count
-        per_pc_maps: List[Dict[int, int]] = [{} for _ in predictors]
+        per_pc_maps = [{} for _ in predictors]
     else:
         counts, measured_conditional, measured_instructions, per_pc_maps = (
             _simulate_columns_batch(predictors, trace, warmup_limit, track_per_pc)
@@ -447,6 +489,108 @@ def _simulate_columns_batch(
                     if track_per_pc:
                         per_pc_maps[index][pc] += 1
                 index += 1
+    return (
+        counts,
+        measured_conditional,
+        measured_instructions,
+        [dict(per_pc) for per_pc in per_pc_maps],
+    )
+
+
+def _simulate_columns_grouped_fast(
+    predictors: Sequence[BranchPredictor],
+    trace: Trace,
+    groups: Sequence,
+    solos: Sequence[int],
+) -> List[int]:
+    """Grouped hot loop: shared cores stepped once, heads fanned per branch.
+
+    Each group's ``step_count`` runs its core once and every head once,
+    bumping the group's internal per-head misprediction counters; solo
+    predictors keep the flat combined-step protocol.  After the traversal
+    the group counters are scattered back to batch positions.
+    """
+    solo_steps = [(index, predictors[index].predict_update) for index in solos]
+    observes = [predictors[index].observe_pc for index in solos]
+    observes.extend(group.observe for group in groups)
+    group_steps = [group.step_count for group in groups]
+    conditional_code = CONDITIONAL_CODE
+    counts = [0] * len(predictors)
+    for pcs, targets, takens, kinds, gaps in _column_blocks(trace):
+        for pc, target, taken, kind, gap in zip(pcs, targets, takens, kinds, gaps):
+            if kind != conditional_code:
+                for observe in observes:
+                    observe(pc)
+            else:
+                for group_step in group_steps:
+                    group_step(pc, target, taken, gap)
+                for index, step in solo_steps:
+                    if step(pc, target, taken, kind, gap) != taken:
+                        counts[index] += 1
+    for group in groups:
+        for slot, index in enumerate(group.indices):
+            counts[index] = group.counts[slot]
+    return counts
+
+
+def _simulate_columns_grouped(
+    predictors: Sequence[BranchPredictor],
+    trace: Trace,
+    groups: Sequence,
+    solos: Sequence[int],
+    warmup_limit: int,
+    track_per_pc: bool,
+) -> tuple:
+    """Grouped general loop: warm-up and/or per-PC bookkeeping.
+
+    The warm-up window is shared across the batch exactly as in
+    :func:`_simulate_columns_batch`; groups return per-head predictions
+    through ``step_list`` so the measurement logic stays per member.
+    """
+    solo_steps = [(index, predictors[index].predict_update) for index in solos]
+    observes = [predictors[index].observe_pc for index in solos]
+    observes.extend(group.observe for group in groups)
+    group_list = [(group.indices, group.step_list) for group in groups]
+    conditional_code = CONDITIONAL_CODE
+    counts = [0] * len(predictors)
+    per_pc_maps: List[Dict[int, int]] = [defaultdict(int) for _ in predictors]
+    measured_conditional = 0
+    measured_instructions = 0
+    seen_conditional = 0
+    for pcs, targets, takens, kinds, gaps in _column_blocks(trace):
+        for position in range(len(pcs)):
+            pc = pcs[position]
+            kind = kinds[position]
+            if kind != conditional_code:
+                for observe in observes:
+                    observe(pc)
+                if seen_conditional >= warmup_limit:
+                    measured_instructions += gaps[position] + 1
+                continue
+            taken = takens[position]
+            target = targets[position]
+            gap = gaps[position]
+            seen_conditional += 1
+            if seen_conditional <= warmup_limit:
+                for indices, step_list in group_list:
+                    step_list(pc, target, taken, gap)
+                for index, step in solo_steps:
+                    step(pc, target, taken, kind, gap)
+                continue
+            measured_conditional += 1
+            measured_instructions += gap + 1
+            for indices, step_list in group_list:
+                predictions = step_list(pc, target, taken, gap)
+                for slot, index in enumerate(indices):
+                    if predictions[slot] != taken:
+                        counts[index] += 1
+                        if track_per_pc:
+                            per_pc_maps[index][pc] += 1
+            for index, step in solo_steps:
+                if step(pc, target, taken, kind, gap) != taken:
+                    counts[index] += 1
+                    if track_per_pc:
+                        per_pc_maps[index][pc] += 1
     return (
         counts,
         measured_conditional,

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import hashlib
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import (
     TYPE_CHECKING,
@@ -50,7 +50,7 @@ from typing import (
 )
 
 from repro.predictors.base import BranchPredictor
-from repro.predictors.composites import CompositeOptions, SizeProfile
+from repro.predictors.composites import CompositeOptions, SizeProfile, core_key_for
 from repro.sim.engine import SimulationResult, simulate, simulate_many
 from repro.sim.metrics import average_mpki
 from repro.store import ResultStore, profile_content
@@ -65,7 +65,33 @@ __all__ = [
     "DEFAULT_BATCH_CELLS",
     "ExecutionBackend",
     "SuiteRunner",
+    "core_schedule_key",
 ]
+
+
+def core_schedule_key(spec: "PredictorSpec", sizes: SizeProfile) -> str:
+    """Best-effort shared-core key of ``spec`` for scheduling order.
+
+    Schedulers (the suite runner's batch chunking, the dist coordinator's
+    admission queue) sort same-trace cells by this string so cells that
+    can share a core (:mod:`repro.predictors.shared_core`) land in the
+    same batch or lease grant.  It is purely a scheduling hint -- batch
+    membership never changes results -- so any resolution failure
+    (builder-based specs, unknown base names, invalid overrides) degrades
+    to ``""`` instead of raising; such cells simply keep their submission
+    order.  The spec is duck-typed (``resolve()``/``base``/``overrides``)
+    so this layer stays import-independent of :mod:`repro.api`.
+    """
+    try:
+        options = spec.resolve().base
+        if not isinstance(options, CompositeOptions):
+            return ""
+        overrides = getattr(spec, "overrides", None)
+        if overrides:
+            options = replace(options, **dict(overrides))
+        return repr(core_key_for(options, sizes))
+    except Exception:
+        return ""
 
 PredictorFactory = Callable[[], BranchPredictor]
 
@@ -235,6 +261,13 @@ class ExecutionBackend:
         track_per_pc: bool = False,
         progress: Optional[Callable[[int, int], None]] = None,
     ) -> Dict[Tuple[str, int], SimulationResult]:
+        """Simulate every ``pending`` cell and return results keyed by cell.
+
+        ``pending`` holds ``(label, trace index)`` pairs; ``specs`` and
+        ``sizes`` map each label to its resolved spec and size profile.
+        Implementations must return one result per requested cell and may
+        call ``progress(done, total)`` as cells complete.
+        """
         raise NotImplementedError
 
 
@@ -748,19 +781,37 @@ class SuiteRunner:
         return runs
 
     def _group_pending(
-        self, pending: Sequence[Tuple[str, int]], use_pool: bool
+        self,
+        pending: Sequence[Tuple[str, int]],
+        use_pool: bool,
+        specs: Optional[Mapping[str, "PredictorSpec"]] = None,
+        sizes: Optional[Mapping[str, SizeProfile]] = None,
     ) -> List[Tuple[int, List[str]]]:
         """Chunk missing cells into same-trace ``(trace index, labels)`` groups.
 
         Cells sharing a trace share one traversal, so they are grouped by
-        trace index (order preserved) and chunked at the batch ceiling.
-        On the pool path the ceiling is additionally capped at a fair
-        share of the pending cells, so a grid over few traces still keeps
-        every worker busy instead of serialising into a few giant tasks.
+        trace index and chunked at the batch ceiling.  Within one trace
+        the labels are ordered by their shared-core key
+        (:func:`~repro.api.specs.core_schedule_key`, stable -- submission
+        order breaks ties) so that same-core cells land in the same chunk
+        and :func:`~repro.sim.engine.simulate_many` can fan them out of
+        one core; this is a scheduling hint only and never changes
+        results.  On the pool path the ceiling is additionally capped at
+        a fair share of the pending cells, so a grid over few traces
+        still keeps every worker busy instead of serialising into a few
+        giant tasks.
         """
         by_trace: Dict[int, List[str]] = {}
         for label, index in pending:
             by_trace.setdefault(index, []).append(label)
+        if specs is not None and sizes is not None:
+            keys = {
+                label: core_schedule_key(specs[label], sizes[label])
+                for labels in by_trace.values()
+                for label in labels
+            }
+            for labels in by_trace.values():
+                labels.sort(key=keys.__getitem__)
         limit = self._batch_limit()
         if use_pool and self.max_workers:
             fair = -(-len(pending) // self.max_workers)  # ceil division
@@ -837,7 +888,7 @@ class SuiteRunner:
                 self._progress_advance()
                 yield futures[future], future.result()
             return
-        groups = self._group_pending(pending, use_pool)
+        groups = self._group_pending(pending, use_pool, specs, sizes)
         if use_pool:
             pool = self._get_pool()
             batch_futures = {

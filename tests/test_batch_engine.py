@@ -18,6 +18,7 @@ from repro.api.registry import default_registry
 from repro.api.specs import PredictorSpec
 from repro.dist import Coordinator, protocol
 from repro.dist.worker import Worker
+from repro.predictors.shared_core import plan_groups
 from repro.predictors.simple import AlwaysTakenPredictor, BimodalPredictor
 from repro.sim.engine import ENGINE_VERSION, simulate, simulate_many
 from repro.sim.runner import DEFAULT_BATCH_CELLS, SuiteRunner
@@ -197,6 +198,127 @@ class TestBatchedSweepPath:
             SuiteRunner(traces, batch=0)
 
 
+def _oh_grid(count=8, profile="small"):
+    """``tage-gsc+oh`` grid over a head-only knob: one shared core."""
+    delays = [0, 1, 3, 7, 15, 31, 63, 127][:count]
+    return PredictorSpec.from_named("tage-gsc+oh", profile=profile).sweep(
+        oh_update_delay=delays
+    )
+
+
+class TestSharedCoreGrouping:
+    """Shared-core batch grouping: formation rules and bit-identity.
+
+    ``oh_update_delay`` only moves the IMLI-OH head component, so an
+    ``oh_update_delay`` grid shares one TAGE+history core; ``local``
+    changes the shared state itself, so it must split the group.
+    """
+
+    def test_shared_grid_forms_one_group(self):
+        predictors = [spec.build() for spec in _oh_grid()]
+        plan = plan_groups(predictors)
+        assert plan is not None
+        groups, solos = plan
+        assert solos == []
+        assert len(groups) == 1 and groups[0].kind == "tage-gsc"
+        assert sorted(groups[0].indices) == list(range(len(predictors)))
+
+    def test_batch_of_one_stays_flat(self):
+        # A lone member never pays grouping overhead.
+        assert plan_groups([_build("tage-gsc")]) is None
+
+    def test_core_mutating_override_must_not_group(self):
+        base = PredictorSpec.from_named("tage-gsc+oh", profile="small")
+        with_local = PredictorSpec.from_named(
+            "tage-gsc+oh", profile="small", local=True
+        )
+        built = [base.build(), with_local.build()]
+        assert built[0].shared_core.key != built[1].shared_core.key
+        assert plan_groups(built) is None
+
+    def test_profile_mismatch_must_not_group(self):
+        small = PredictorSpec.from_named("tage-gsc+oh", profile="small")
+        default = PredictorSpec.from_named("tage-gsc+oh", profile="default")
+        assert plan_groups([small.build(), default.build()]) is None
+
+    def test_trained_member_stays_solo(self, traces):
+        predictors = [spec.build() for spec in _oh_grid(3)]
+        simulate(predictors[1], traces[0])  # no longer pristine
+        plan = plan_groups(predictors)
+        assert plan is not None
+        groups, solos = plan
+        assert solos == [1]
+        assert sorted(groups[0].indices) == [0, 2]
+
+    def test_mixed_shared_and_foreign_cores(self, traces):
+        # A tage-gsc group, a gehl group, and a solo bimodal in one batch.
+        specs = _oh_grid(3) + [
+            PredictorSpec.from_named("gehl+sic", profile="small"),
+            PredictorSpec.from_named("gehl+imli", profile="small"),
+        ]
+        predictors = [spec.build() for spec in specs] + [BimodalPredictor()]
+        plan = plan_groups(predictors)
+        assert plan is not None
+        groups, solos = plan
+        assert sorted(group.kind for group in groups) == ["gehl", "tage-gsc"]
+        assert solos == [5]
+        batched = simulate_many(predictors, traces[0])
+        fresh = [spec.build() for spec in specs] + [BimodalPredictor()]
+        for result, predictor in zip(batched, fresh):
+            _assert_identical(result, simulate(predictor, traces[0]))
+
+    @pytest.mark.parametrize(
+        "warmup,track", [(0.0, False), (0.0, True), (0.3, False), (0.25, True)]
+    )
+    def test_share_cores_false_bit_identical(self, traces, warmup, track):
+        # share_cores=False is the pre-grouping batched path; equality
+        # here pins the grouped executor to it bit for bit.
+        specs = _oh_grid()
+        for trace in traces:
+            grouped = simulate_many(
+                [spec.build() for spec in specs],
+                trace,
+                warmup_fraction=warmup,
+                track_per_pc=track,
+            )
+            flat = simulate_many(
+                [spec.build() for spec in specs],
+                trace,
+                warmup_fraction=warmup,
+                track_per_pc=track,
+                share_cores=False,
+            )
+            for ours, theirs in zip(grouped, flat):
+                _assert_identical(ours, theirs)
+
+    def test_grouped_members_left_untouched(self, traces):
+        # The group runs fresh cores/heads; the originals stay pristine
+        # (documented contract -- callers must not rely on batch members
+        # being trained after a grouped run).
+        predictors = [spec.build() for spec in _oh_grid(4)]
+        simulate_many(predictors, traces[0])
+        assert plan_groups(predictors) is not None  # still pristine
+
+    def test_mixed_grid_store_records_identical(self, traces, tmp_path):
+        specs = _oh_grid(3) + [
+            PredictorSpec.from_named("gehl+imli", profile="small"),
+            PredictorSpec.from_named(
+                "tage-gsc+oh", profile="small", label="oh-local", local=True
+            ),
+        ]
+        for mode, batch in (("batched", None), ("per-cell", False)):
+            runner = SuiteRunner(
+                traces, profile="small", store=str(tmp_path / mode), batch=batch
+            )
+            runner.run_specs(specs)
+            runner.close()
+        batched = _store_records(tmp_path / "batched")
+        per_cell = _store_records(tmp_path / "per-cell")
+        assert batched.keys() == per_cell.keys()
+        assert len(batched) == len(specs) * len(traces)
+        assert batched == per_cell
+
+
 class TestDistBatching:
     def test_lease_grant_has_trace_affinity(self, traces):
         specs = _sweep_specs()
@@ -209,6 +331,30 @@ class TestDistBatching:
             assert len(cells) == len(specs)
             assert len({cell.trace_fingerprint for cell in cells}) == 1
             assert job.total == len(specs) * len(traces)
+
+    def test_lease_grant_clusters_same_core_cells(self, traces):
+        # Admission sorts each trace's cells by shared-core key, so a
+        # batched grant hands a worker cells its simulate_many call can
+        # actually group -- even when the submitted specs interleave
+        # core families.
+        gehl = PredictorSpec.from_named("gehl+imli", profile="small")
+        tage = _oh_grid(3)
+        interleaved = [tage[0], gehl, tage[1], gehl.sweep(imli_sic=[True])[0], tage[2]]
+        with Coordinator() as coordinator:
+            coordinator.submit(interleaved, traces)
+            state, cells = coordinator._lease(owner=1, max_cells=2)
+            assert state == "work" and len(cells) == 2
+            from repro.dist.coordinator import _core_key
+
+            keys = {
+                _core_key(
+                    PredictorSpec.from_dict(cell.spec_dict), cell.profile_payload
+                )
+                for cell in cells
+            }
+            # Both cells of the first grant come from the same core family
+            # ("gehl..." sorts ahead of "tage-gsc...").
+            assert len(keys) == 1 and "gehl" in next(iter(keys))
 
     def test_lease_grant_respects_coordinator_cap(self, traces):
         with Coordinator(batch=2) as coordinator:

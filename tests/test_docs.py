@@ -1,0 +1,54 @@
+"""Documentation sanity: internal doc links must resolve.
+
+Runs the same checker CI runs (``tools/check_doc_links.py``), so a
+renamed file with a dangling ``docs/*.md`` reference fails tier-1
+locally, not just the lint job.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_doc_links", REPO_ROOT / "tools" / "check_doc_links.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_all_internal_doc_links_resolve():
+    checker = _checker()
+    assert checker.check() == []
+
+
+def test_checker_sees_the_real_docs():
+    checker = _checker()
+    documents = {path.name for path in checker._documents()}
+    assert "README.md" in documents
+    assert {"API.md", "ENGINE.md", "PERFORMANCE.md", "DISTRIBUTED.md"} <= documents
+
+
+def test_checker_detects_breakage(tmp_path, monkeypatch):
+    checker = _checker()
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (tmp_path / "README.md").write_text(
+        "[ok](docs/REAL.md) and [broken](docs/GONE.md) and `docs/GONE.md`\n"
+    )
+    (docs / "REAL.md").write_text("see [nothing](#anchor) and https://example.com\n")
+    monkeypatch.setattr(checker, "REPO_ROOT", tmp_path)
+    broken = checker.check()
+    assert [(str(doc), target) for doc, _, target in broken] == [
+        ("README.md", "docs/GONE.md"),
+        ("README.md", "docs/GONE.md"),
+    ]
+
+
+def test_main_exit_status():
+    checker = _checker()
+    assert checker.main() == 0

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Check that every internal link in the repo's markdown docs resolves.
+
+Two kinds of references are checked in ``README.md`` and ``docs/*.md``:
+
+* markdown links ``[text](target)`` whose target is not an external URL
+  (``http://``, ``https://``, ``mailto:``) -- the target path, with any
+  ``#fragment`` stripped, must exist;
+* backtick references to repo paths (````docs/API.md```` and friends) --
+  the docs cross-reference each other, source files and tests this way,
+  so a rename must fail CI rather than leave dangling prose.
+
+A target resolves if it exists relative to the referencing file's
+directory or to the repo root.  Exits non-zero listing every broken
+reference; run from anywhere (the repo root is located from this file).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` -- non-greedy so adjacent links split correctly.
+MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Backticked repo paths: at least one ``/`` and a known text/source
+#: suffix, so prose like `pc`/`repro.sim.engine` is not mistaken for one.
+BACKTICK_PATH = re.compile(r"`([A-Za-z0-9_.-]+(?:/[A-Za-z0-9_.-]+)+\.(?:md|py|json|toml|yml))`")
+
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _documents():
+    yield REPO_ROOT / "README.md"
+    yield from sorted((REPO_ROOT / "docs").glob("*.md"))
+
+
+def _resolves(target: str, source: Path) -> bool:
+    path = target.split("#", 1)[0]
+    if not path:  # pure in-page anchor
+        return True
+    return (source.parent / path).exists() or (REPO_ROOT / path).exists()
+
+
+def check() -> list:
+    """Return ``(file, line, reference)`` tuples for every broken link."""
+    broken = []
+    for document in _documents():
+        for number, line in enumerate(document.read_text().splitlines(), start=1):
+            references = [
+                target
+                for target in MARKDOWN_LINK.findall(line)
+                if not target.startswith(EXTERNAL)
+            ]
+            references += BACKTICK_PATH.findall(line)
+            for target in references:
+                if not _resolves(target, document):
+                    broken.append((document.relative_to(REPO_ROOT), number, target))
+    return broken
+
+
+def main() -> int:
+    """CLI entry point: print broken references, exit 1 if any."""
+    broken = check()
+    for document, line, target in broken:
+        print(f"{document}:{line}: broken reference {target!r}")
+    if broken:
+        print(f"{len(broken)} broken doc reference(s)", file=sys.stderr)
+        return 1
+    print(f"doc links OK ({sum(1 for _ in _documents())} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
