@@ -252,6 +252,11 @@ class Experiment:
         :func:`~repro.sim.engine.simulate_many` traversal, an ``int``
         caps the group size, ``False`` restores one simulation per cell.
         Results, store keys and exported bytes are identical either way.
+    timings:
+        Per-cell timing capture (see ``docs/OBSERVABILITY.md``):
+        ``None`` (default) writes ``timings.jsonl`` next to the result
+        store when one is configured, a path redirects the artifact,
+        ``False`` disables capture.  Timing never affects results.
     """
 
     def __init__(
@@ -269,6 +274,7 @@ class Experiment:
         backend: Union[str, object, None] = None,
         progress=None,
         batch: Union[bool, int, None] = None,
+        timings: Union[str, Path, None, bool] = None,
     ) -> None:
         self.specs = [
             spec
@@ -298,6 +304,7 @@ class Experiment:
         self.backend = backend
         self.progress = progress
         self.batch = batch
+        self.timings = timings
         self._traces = (
             [
                 load_any_trace(trace) if isinstance(trace, (str, Path)) else trace
@@ -382,6 +389,7 @@ class Experiment:
                 backend=self.backend,
                 progress=self.progress,
                 batch=self.batch,
+                timings=self.timings,
             )
         return self._runner
 

@@ -60,6 +60,8 @@ from repro.api.experiment import Experiment, ResultSet
 from repro.api.registry import default_registry
 from repro.api.specs import PredictorSpec
 from repro.common.progress import ProgressPrinter
+from repro.obs.http import DEFAULT_STATUS_PORT, StatusServer
+from repro.obs.top import run_top
 from repro.sim.runner import ConfigurationRun, SuiteRunner
 from repro.store import ResultStore
 from repro.trace.chunked import load_any_trace
@@ -297,6 +299,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="print per-cell completion (done/total, cells/s, ETA) on stderr",
     )
+    serve.add_argument(
+        "--status-port", type=int, default=None, metavar="PORT",
+        help="also serve read-only HTTP status endpoints (/status, /jobs, "
+             "/workers, /store, /metrics) on this port (0 picks a free "
+             "port, printed on stderr; default: off)",
+    )
+    serve.add_argument(
+        "--status-host", default="127.0.0.1", metavar="HOST",
+        help="bind address of the status endpoints (default: 127.0.0.1; "
+             "the surface is unauthenticated -- widen with care)",
+    )
     _add_batch_arguments(serve)
 
     worker = subparsers.add_parser(
@@ -339,6 +352,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-cell completion (done/total, cells/s, ETA) on stderr",
     )
 
+    top = subparsers.add_parser(
+        "top", help="live terminal view of a coordinator's status endpoints"
+    )
+    top.add_argument(
+        "--connect", default=f"127.0.0.1:{DEFAULT_STATUS_PORT}",
+        metavar="HOST:PORT",
+        help="status endpoint address -- the coordinator's "
+             f"`serve --status-port` (default: 127.0.0.1:{DEFAULT_STATUS_PORT})",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="seconds between polls (default: 2)",
+    )
+    top.add_argument(
+        "--iterations", type=_positive_int, default=None, metavar="N",
+        help="render N frames and exit (default: poll until Ctrl-C)",
+    )
+    top.add_argument(
+        "--no-clear", dest="clear", action="store_false",
+        help="append frames instead of clearing the screen between them "
+             "(for dumb terminals and log capture)",
+    )
+
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's tables or figures"
     )
@@ -369,6 +405,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--traces", dest="traces_view", action="store_true",
         help="group by trace instead: one row per trace fingerprint in the "
              "store, with the trace names seen and the cell count",
+    )
+    store_ls.add_argument(
+        "--summary", dest="summary_view", action="store_true",
+        help="print one line of totals instead (cells, bytes on disk, "
+             "distinct specs, distinct traces)",
     )
     _add_store_argument(store_ls)
     store_gc = store_sub.add_parser(
@@ -861,6 +902,25 @@ def _command_serve(args: argparse.Namespace) -> int:
             "unfinished job(s)",
             file=sys.stderr,
         )
+    status_server = None
+    if args.status_port is not None:
+        status_server = StatusServer(
+            coordinator,
+            store=store,
+            host=args.status_host,
+            port=args.status_port,
+        )
+        try:
+            status_server.start()
+        except OSError as error:
+            coordinator.shutdown()
+            print(
+                f"cannot bind status server on "
+                f"{args.status_host}:{args.status_port}: {error}",
+                file=sys.stderr,
+            )
+            return EXIT_BIND_FAILURE
+        print(f"status endpoint: {status_server.url}/status", file=sys.stderr)
     try:
         if args.base is None:
             # Idle service: accept `repro submit` jobs until Ctrl-C.
@@ -907,6 +967,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         _report_store_use(store)
         return 0
     finally:
+        if status_server is not None:
+            status_server.close()
         coordinator.shutdown()
 
 
@@ -1007,6 +1069,15 @@ def _command_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_top(args: argparse.Namespace) -> int:
+    return run_top(
+        args.connect,
+        interval=args.interval,
+        iterations=args.iterations,
+        clear=args.clear,
+    )
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
     subset = _split(args.benchmarks)
     runners = {}
@@ -1034,6 +1105,17 @@ def _command_store(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.store_command == "ls" and getattr(args, "summary_view", False):
+        summary = store.summary()
+        if args.json_output:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+            return 0
+        print(
+            f"{summary['cells']} cell(s), {summary['bytes']} bytes on disk, "
+            f"{summary['distinct_specs']} distinct spec(s), "
+            f"{summary['distinct_traces']} distinct trace(s) in {summary['root']}"
+        )
+        return 0
     if args.store_command == "ls" and getattr(args, "traces_view", False):
         return _store_ls_traces(store, args)
     if args.store_command == "ls":
@@ -1307,6 +1389,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_worker(args)
     if args.command == "submit":
         return _command_submit(args)
+    if args.command == "top":
+        return _command_top(args)
     if args.command == "experiment":
         return _command_experiment(args)
     if args.command == "store":

@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import sys
 import time
-from typing import Mapping, Optional, TextIO
+from collections import deque
+from typing import Deque, Mapping, Optional, TextIO, Tuple
 
 __all__ = ["ProgressPrinter"]
 
@@ -37,6 +38,13 @@ class ProgressPrinter:
         Seconds between printed updates; completions arriving faster are
         coalesced.  The first and the final update always print, and so
         does any change in the fault-tolerance stats.
+    window:
+        Sliding window (seconds) the displayed rate and ETA are computed
+        over.  A resumed run satisfies its store-warm cells near
+        instantly; a since-start average would carry that burst for the
+        whole run and promise absurd ETAs, so the rate tracks recent
+        completions only (falling back to the since-start average until
+        the window has two samples).
     """
 
     #: Callers (the dist client/coordinator) check this to know they may
@@ -51,14 +59,38 @@ class ProgressPrinter:
         label: str = "progress",
         stream: Optional[TextIO] = None,
         min_interval: float = 0.5,
+        window: float = 30.0,
     ) -> None:
         self.label = label
         self.stream = stream
         self.min_interval = float(min_interval)
+        self.window = float(window)
         self._started: Optional[float] = None
         self._last_printed: float = 0.0
         self._last_done: int = -1
         self._last_stats: tuple = ()
+        #: Recent ``(stamp, done)`` observations backing the windowed rate.
+        self._samples: Deque[Tuple[float, int]] = deque()
+
+    def _rate(self, now: float, done: int) -> float:
+        """Cells/s over the recent window (since-start until it fills).
+
+        Samples are recorded on every *observed* change in ``done`` --
+        including coalesced calls that never print -- so the window sees
+        the true completion cadence, not the print cadence.
+        """
+        if not self._samples or done != self._samples[-1][1]:
+            self._samples.append((now, done))
+        # Keep at least two samples so a stall (no completions for longer
+        # than the window) degrades the rate instead of emptying the data.
+        while len(self._samples) > 2 and now - self._samples[0][0] > self.window:
+            self._samples.popleft()
+        first_stamp, first_done = self._samples[0]
+        span = now - first_stamp
+        if done > first_done and span > 1e-9:
+            return (done - first_done) / span
+        elapsed = max(now - (self._started or now), 1e-9)
+        return done / elapsed
 
     def __call__(
         self, done: int, total: int, stats: Optional[Mapping[str, int]] = None
@@ -71,6 +103,7 @@ class ProgressPrinter:
             for key in self._STAT_KEYS
             if stats and stats.get(key)
         )
+        rate = self._rate(now, done)
         stats_changed = rendered != self._last_stats
         if not stats_changed and (
             done == self._last_done
@@ -81,7 +114,9 @@ class ProgressPrinter:
         self._last_done = done
         self._last_stats = rendered
         elapsed = max(now - self._started, 1e-9)
-        rate = done / elapsed
+        if done >= total:
+            # The final line reports the whole run, not the last window.
+            rate = done / elapsed
         if 0 < done < total and rate > 0:
             eta = f"ETA {self._format_seconds((total - done) / rate)}"
         elif done >= total:

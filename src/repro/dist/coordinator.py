@@ -53,6 +53,7 @@ from repro.api.specs import PredictorSpec
 from repro.dist import protocol
 from repro.dist.journal import CoordinatorJournal
 from repro.dist.protocol import ProtocolError
+from repro.obs import default_registry, event_log_for, timing_log_for
 from repro.predictors.composites import CompositeOptions
 from repro.sim.engine import SimulationResult
 from repro.sim.runner import DEFAULT_BATCH_CELLS, ConfigurationRun, core_schedule_key
@@ -84,6 +85,9 @@ class _Cell:
     #: human-readable reason per loss -- the quarantine retry budget.
     losses: int = 0
     loss_log: List[str] = field(default_factory=list)
+    #: Monotonic stamp of the most recent lease grant (timing artifacts:
+    #: the dist ``total`` phase is grant-to-accepted-upload).
+    granted_at: Optional[float] = None
 
     def work_item(self) -> Dict[str, Any]:
         """The ``work`` frame payload workers receive."""
@@ -284,6 +288,39 @@ class Coordinator:
         #: Service-lifetime degradation counters (across all jobs).
         self.stats: Dict[str, int] = {"requeued": 0, "retried": 0, "quarantined": 0}
 
+        # Observability (read-only over scheduler state; see repro.obs).
+        # The store root anchors the event / timing artifacts; without a
+        # store both are off and every hook below is a cheap no-op.
+        store_root = self.store.root if self.store is not None else None
+        self.metrics = default_registry()
+        self.events = event_log_for(store_root, component="coordinator")
+        self.timings = timing_log_for(store_root, component="coordinator")
+        self.started_wall: Optional[float] = None
+        self.started_mono: Optional[float] = None
+        #: Cells completed service-wide, and a ring of recent completion
+        #: stamps (monotonic) backing the sliding-window cells/s rate.
+        self.cells_completed = 0
+        self._completions: deque = deque(maxlen=4096)
+        #: Live connections: conn id -> {name, role, connected stamps,
+        #: last_seen, completed} for the /workers endpoint.
+        self._conn_info: Dict[int, Dict[str, Any]] = {}
+        self._metric_results = self.metrics.counter(
+            "repro_results_accepted_total", "Results accepted from workers."
+        )
+        self._metric_duplicates = self.metrics.counter(
+            "repro_results_duplicate_total",
+            "Duplicate uploads acknowledged and dropped.",
+        )
+        self._metric_traces_served = self.metrics.counter(
+            "repro_traces_served_total", "fetch_trace frames answered."
+        )
+        self._metric_chunks_served = self.metrics.counter(
+            "repro_trace_chunks_served_total", "fetch_trace_chunk frames answered."
+        )
+        self._metric_connections = self.metrics.counter(
+            "repro_connections_total", "TCP connections accepted."
+        )
+
         self._lock = threading.RLock()
         self._cond = threading.Condition(self._lock)
         self._cells: Dict[int, _Cell] = {}
@@ -327,6 +364,8 @@ class Coordinator:
         """
         if self._listener is not None:
             raise RuntimeError("coordinator is already started")
+        self.started_wall = time.time()
+        self.started_mono = time.monotonic()
         self._recover_journal()
         self._listener = socket.create_server(
             (self._host, self._port), reuse_port=False
@@ -337,6 +376,13 @@ class Coordinator:
         )
         self._accept_thread.start()
         self.log(f"coordinator listening on {self.address[0]}:{self.address[1]}")
+        if self.events is not None:
+            self.events.emit(
+                "coordinator_started",
+                host=self.address[0],
+                port=self.address[1],
+                recovered_jobs=len(self.recovered_jobs),
+            )
         return self.address
 
     def _recover_journal(self) -> None:
@@ -412,6 +458,10 @@ class Coordinator:
                 thread.join(timeout=5)
         if self.journal is not None:
             self.journal.close()
+        if self.timings is not None:
+            self.timings.write_summary()
+        if self.events is not None:
+            self.events.emit("coordinator_stopped", cells_completed=self.cells_completed)
 
     def __enter__(self) -> "Coordinator":
         self.start()
@@ -577,6 +627,15 @@ class Coordinator:
                 f"x {len(traces)} trace(s)"
                 + (f", {len(prefilled)} already in store" if prefilled else "")
             )
+            if self.events is not None:
+                self.events.emit(
+                    "job_admitted",
+                    job=job.job_id,
+                    cells=job.total,
+                    specs=len(labels),
+                    traces=len(traces),
+                    prefilled=len(prefilled),
+                )
             for cell, stored in prefilled:
                 self._complete_locked(cell, stored, persist=False)
             self._cond.notify_all()
@@ -645,6 +704,16 @@ class Coordinator:
             f"cell {cell_id} ({cell.label} / {cell.trace_name}): {reason}; "
             f"requeued (loss {cell.losses}/{self.max_lease_losses})"
         )
+        if self.events is not None:
+            self.events.emit(
+                "cell_requeued",
+                cell=cell_id,
+                job=cell.job.job_id,
+                label=cell.label,
+                trace=cell.trace_name,
+                losses=cell.losses,
+                reason=reason,
+            )
         self._notify_progress_locked(cell.job)
 
     def _quarantine_locked(self, cell: _Cell) -> None:
@@ -661,6 +730,15 @@ class Coordinator:
         self.log(
             f"cell {cell.cell_id} ({cell.label} / {cell.trace_name}): {message}"
         )
+        if self.events is not None:
+            self.events.emit(
+                "cell_quarantined",
+                cell=cell.cell_id,
+                job=job.job_id,
+                label=cell.label,
+                trace=cell.trace_name,
+                losses=cell.losses,
+            )
         self._notify_progress_locked(job)
         if job.done + len(job.quarantined) >= job.total:
             self.log(
@@ -672,6 +750,15 @@ class Coordinator:
     def _settle_locked(self, job: SweepJob) -> None:
         """Mark a job settled (complete, failed or quarantine-settled)."""
         job._event.set()
+        if self.events is not None:
+            self.events.emit(
+                "job_settled",
+                job=job.job_id,
+                done=job.done,
+                total=job.total,
+                error=job.error,
+                quarantined=len(job.quarantined),
+            )
         if self.journal is not None:
             try:
                 self.journal.record_settled(job.job_id)
@@ -757,27 +844,66 @@ class Coordinator:
             for cell_id in reversed(passed_over):
                 self._pending.appendleft(cell_id)
             if granted:
-                deadline = (
-                    time.monotonic() + self.lease_timeout * len(granted)
-                )
+                now = time.monotonic()
+                deadline = now + self.lease_timeout * len(granted)
                 for cell in granted:
                     self._leases[cell.cell_id] = (owner, deadline)
+                    cell.granted_at = now
                     if cell.losses:
                         cell.job.retried += 1
                         self.stats["retried"] += 1
                 return ("work", granted)
             return ("wait", [])
 
-    def _complete(self, cell_id: int, result: SimulationResult, owner: int) -> bool:
-        """Accept an uploaded result; ``False`` when it was a duplicate."""
+    def _complete(
+        self,
+        cell_id: int,
+        result: SimulationResult,
+        owner: int,
+        timings: Optional[Dict[str, Any]] = None,
+        batch: Any = 1,
+    ) -> bool:
+        """Accept an uploaded result; ``False`` when it was a duplicate.
+
+        ``timings``/``batch`` mirror the additive keys a worker may attach
+        to its result frame (worker-measured phase walls); accepted cells
+        are recorded into the dist timing artifact with a coordinator-side
+        ``total`` (lease grant to accepted upload) added.
+        """
+        record: Optional[Dict[str, Any]] = None
         with self._cond:
             cell = self._cells.get(cell_id)
             if cell is None:
                 return False
             self._leases.pop(cell_id, None)
             if cell.job.slots[cell.label][cell.index] is not None:
+                self._metric_duplicates.inc()
                 return False  # first upload won; drop the duplicate
-            return self._complete_locked(cell, result)
+            accepted = self._complete_locked(cell, result)
+            if accepted:
+                self._metric_results.inc()
+                if self.timings is not None:
+                    phases = {
+                        str(name): float(value)
+                        for name, value in (timings or {}).items()
+                        if isinstance(value, (int, float))
+                    }
+                    if cell.granted_at is not None:
+                        phases["total"] = max(
+                            0.0, time.monotonic() - cell.granted_at
+                        )
+                    if phases:
+                        record = {
+                            "label": cell.label,
+                            "trace": cell.trace_name,
+                            "phases": phases,
+                            "batch": batch if isinstance(batch, int) and batch >= 1 else 1,
+                        }
+        # The artifact write happens outside the scheduler lock: a slow
+        # disk must never stall lease grants or renewals.
+        if record is not None:
+            self.timings.record(backend="dist", **record)
+        return accepted
 
     def _complete_locked(
         self, cell: _Cell, result: SimulationResult, persist: bool = True
@@ -787,6 +913,8 @@ class Coordinator:
         result.predictor_name = cell.label
         cell.job.slots[cell.label][cell.index] = result
         cell.job.done += 1
+        self.cells_completed += 1
+        self._completions.append(time.monotonic())
         # A late result for a not-yet-settled quarantined cell un-poisons
         # it -- a real result always beats an attributed failure.
         cell.job.quarantined.pop((cell.label, cell.index), None)
@@ -870,6 +998,110 @@ class Coordinator:
             self._cond.notify_all()
 
     # ----------------------------------------------------------------- #
+    # Status snapshots (read-only; served by repro.obs.http)
+    # ----------------------------------------------------------------- #
+
+    def _touch(self, conn_id: int) -> None:
+        """Stamp a connection's last-seen time (any inbound frame)."""
+        with self._lock:
+            info = self._conn_info.get(conn_id)
+            if info is not None:
+                info["last_seen"] = time.monotonic()
+
+    def _rate_locked(self, now: float, window: float = 60.0) -> float:
+        """Recent completion rate: cells/s over at most ``window`` seconds
+        of the completion ring (0.0 with fewer than two samples)."""
+        stamps = [stamp for stamp in self._completions if now - stamp <= window]
+        if len(stamps) < 2:
+            return 0.0
+        span = stamps[-1] - stamps[0]
+        if span <= 1e-9:
+            return 0.0
+        return (len(stamps) - 1) / span
+
+    def status_snapshot(self) -> Dict[str, Any]:
+        """One JSON-safe view of overall service state (``/status``)."""
+        now = time.monotonic()
+        with self._lock:
+            jobs_total = len(self._jobs)
+            jobs_active = sum(
+                1 for job in self._jobs.values() if not job.finished
+            )
+            cells_total = sum(job.total for job in self._jobs.values())
+            cells_done = sum(job.done for job in self._jobs.values())
+            rate = self._rate_locked(now)
+            snapshot = {
+                "uptime_seconds": (
+                    now - self.started_mono if self.started_mono is not None else None
+                ),
+                "started": self.started_wall,
+                "protocol": protocol.PROTOCOL_VERSION,
+                "jobs_total": jobs_total,
+                "jobs_active": jobs_active,
+                "cells_total": cells_total,
+                "cells_done": cells_done,
+                "cells_pending": len(self._pending),
+                "cells_leased": len(self._leases),
+                "cells_completed_lifetime": self.cells_completed,
+                "cells_per_second": rate,
+                "eta_seconds": (
+                    (cells_total - cells_done) / rate
+                    if rate > 0 and cells_total > cells_done
+                    else None
+                ),
+                "stats": dict(self.stats),
+                "workers": sum(
+                    1
+                    for info in self._conn_info.values()
+                    if info["role"] == "worker"
+                ),
+                "connections": len(self._conn_info),
+                "store": str(self.store.root) if self.store is not None else None,
+            }
+        return snapshot
+
+    def jobs_snapshot(self) -> List[Dict[str, Any]]:
+        """Per-job progress records (``/jobs``), in admission order."""
+        with self._lock:
+            return [
+                {
+                    "job": job.job_id,
+                    "total": job.total,
+                    "done": job.done,
+                    "finished": job.finished,
+                    "error": job.error,
+                    "requeued": job.requeued,
+                    "retried": job.retried,
+                    "quarantined": len(job.quarantined),
+                    "labels": list(job.labels),
+                    "traces": len(job.trace_names),
+                    "track_per_pc": job.track_per_pc,
+                }
+                for job in sorted(self._jobs.values(), key=lambda j: j.job_id)
+            ]
+
+    def workers_snapshot(self) -> List[Dict[str, Any]]:
+        """Per-connection worker health (``/workers``): lease counts,
+        cells completed over this connection, seconds since last frame."""
+        now = time.monotonic()
+        with self._lock:
+            leases_by_owner: Dict[int, int] = {}
+            for owner, _ in self._leases.values():
+                leases_by_owner[owner] = leases_by_owner.get(owner, 0) + 1
+            return [
+                {
+                    "connection": conn_id,
+                    "name": info["name"],
+                    "connected_seconds": now - info["connected_mono"],
+                    "last_seen_seconds": now - info["last_seen"],
+                    "leases": leases_by_owner.get(conn_id, 0),
+                    "completed": info["completed"],
+                }
+                for conn_id, info in sorted(self._conn_info.items())
+                if info["role"] == "worker"
+            ]
+
+    # ----------------------------------------------------------------- #
     # Connection handling
     # ----------------------------------------------------------------- #
 
@@ -890,8 +1122,17 @@ class Coordinator:
             except OSError:
                 pass
             conn_id = next(self._conn_ids)
+            now = time.monotonic()
             with self._lock:
                 self._open_sockets[conn_id] = sock
+                self._conn_info[conn_id] = {
+                    "name": f"conn-{conn_id}",
+                    "role": "unknown",
+                    "connected_mono": now,
+                    "last_seen": now,
+                    "completed": 0,
+                }
+            self._metric_connections.inc()
             self._conn_threads = [
                 thread for thread in self._conn_threads if thread.is_alive()
             ]
@@ -927,6 +1168,7 @@ class Coordinator:
             self._release_owner(conn_id)
             with self._lock:
                 self._open_sockets.pop(conn_id, None)
+                self._conn_info.pop(conn_id, None)
             for stream in (wfile, rfile):
                 try:
                     stream.close()
@@ -954,7 +1196,15 @@ class Coordinator:
         worker_name = str(hello.get("worker") or f"conn-{conn_id}")
         with self._lock:
             self._conn_names[conn_id] = worker_name
+            info = self._conn_info.get(conn_id)
+            if info is not None:
+                info["name"] = worker_name
+                info["role"] = "worker"
         self.log(f"worker {worker_name} connected (connection {conn_id})")
+        if self.events is not None:
+            self.events.emit(
+                "worker_connected", worker=worker_name, connection=conn_id
+            )
         protocol.write_frame(
             wfile,
             {
@@ -971,6 +1221,7 @@ class Coordinator:
                 frame = protocol.read_frame(rfile)
                 if frame is None:
                     break
+                self._touch(conn_id)
                 kind = frame["type"]
                 if kind == "lease":
                     if self._stopping.is_set():
@@ -1015,6 +1266,7 @@ class Coordinator:
                         {"type": "renewed", "cells": renewed, "lost": lost},
                     )
                 elif kind == "fetch_trace":
+                    self._metric_traces_served.inc()
                     fingerprint = frame.get("fingerprint")
                     payload = self._traces.get(fingerprint)
                     if payload is not None:
@@ -1041,6 +1293,7 @@ class Coordinator:
                             },
                         )
                 elif kind == "fetch_trace_chunk":
+                    self._metric_chunks_served.inc()
                     fingerprint = frame.get("fingerprint")
                     index = frame.get("chunk")
                     chunked = self._chunked.get(fingerprint)
@@ -1082,7 +1335,26 @@ class Coordinator:
                         raise ProtocolError(f"malformed result: {error}") from None
                     if not isinstance(cell_id, int):
                         raise ProtocolError("result frame without a cell id")
-                    accepted = self._complete(cell_id, result, conn_id)
+                    # "timings" / "batch" are additive version-1 keys: a
+                    # worker may attach its measured phase walls; absent
+                    # keys mean a pre-instrumentation worker.
+                    frame_timings = frame.get("timings")
+                    accepted = self._complete(
+                        cell_id,
+                        result,
+                        conn_id,
+                        timings=(
+                            frame_timings
+                            if isinstance(frame_timings, dict)
+                            else None
+                        ),
+                        batch=frame.get("batch", 1),
+                    )
+                    if accepted:
+                        with self._lock:
+                            info = self._conn_info.get(conn_id)
+                            if info is not None:
+                                info["completed"] += 1
                     protocol.write_frame(
                         wfile, {"type": "ack", "cell": cell_id, "accepted": accepted}
                     )
@@ -1104,6 +1376,10 @@ class Coordinator:
         except OSError:
             pass
         self.log(f"worker {worker_name} disconnected")
+        if self.events is not None:
+            self.events.emit(
+                "worker_disconnected", worker=worker_name, connection=conn_id
+            )
 
     def _serve_submitter(self, conn_id: int, frame: Dict[str, Any], wfile) -> None:
         try:
@@ -1112,6 +1388,10 @@ class Coordinator:
             self._send_error(wfile, f"bad submit: {error}")
             return
         self.log(f"job {job.job_id} submitted by connection {conn_id}")
+        with self._lock:
+            info = self._conn_info.get(conn_id)
+            if info is not None:
+                info["role"] = "submitter"
         try:
             protocol.write_frame(
                 wfile,

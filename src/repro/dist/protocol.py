@@ -75,7 +75,11 @@ Submit session::
 Both directions tolerate *additive* keys inside version-1 frames -- that
 is how lease renewal and the fault-tolerance stats arrived without a
 version bump: a worker only sends ``renew`` after seeing the ``welcome``
-advertise it, and clients ignore stat keys they do not know.
+advertise it, and clients ignore stat keys they do not know.  The
+observability layer rides the same rule: instrumented workers attach
+``"timings"`` (a ``{phase: seconds}`` mapping) and ``"batch"`` (cells
+sharing those walls) to ``result`` frames, and the coordinator treats
+both as optional -- pre-instrumentation peers interoperate unchanged.
 
 A malformed, oversized or unexpected frame gets a ``{"type": "error",
 "message": ...}`` reply (best effort) and the connection is closed; any

@@ -55,6 +55,7 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Union
 
 from repro.dist import chaos, protocol
 from repro.dist.protocol import ConnectionClosed, ProtocolError
+from repro.obs import timing_log_for
 from repro.sim.engine import SimulationResult
 from repro.sim.runner import (
     DEFAULT_BATCH_CELLS,
@@ -175,6 +176,16 @@ class Worker:
         self.completed = 0
         #: Reconnect attempts that succeeded (visible to tests/operators).
         self.reconnects = 0
+        # Worker-local timing artifact, anchored next to the local store
+        # (without one there is nowhere durable to put it -- the
+        # coordinator still records dist timings from our result frames).
+        self.timings = timing_log_for(
+            self.store.root if self.store is not None else None,
+            component="worker",
+        )
+        # Seconds the most recent _trace_for spent fetching (0.0 on a
+        # cache hit); only ever touched from the main serve loop.
+        self._last_fetch_seconds = 0.0
         self._traces: "OrderedDict[str, Trace]" = OrderedDict()
         # Chunked traces spool their fetched chunk files here (one subdir
         # per trace); created lazily, removed when the worker returns.
@@ -280,7 +291,9 @@ class Worker:
         trace = self._traces.get(fingerprint)
         if trace is not None:
             self._traces.move_to_end(fingerprint)
+            self._last_fetch_seconds = 0.0
             return trace
+        fetch_started = time.monotonic()
         reply = self._request(
             rfile, wfile,
             {"type": "fetch_trace", "fingerprint": fingerprint},
@@ -298,6 +311,7 @@ class Worker:
             # files stream on demand into this worker's spool directory
             # and at most ``cache_chunks`` decoded chunks stay in memory.
             trace = self._chunked_trace(fingerprint, reply.get("manifest"))
+        self._last_fetch_seconds = time.monotonic() - fetch_started
         self._traces[fingerprint] = trace
         while len(self._traces) > self.trace_cache:
             self._traces.popitem(last=False)  # evict least recently used
@@ -384,13 +398,27 @@ class Worker:
         except (OSError, TypeError, ValueError):
             pass  # an unwritable store must not fail the worker
 
-    def _upload(self, rfile, wfile, item: Dict[str, Any], result: SimulationResult) -> None:
+    def _upload(
+        self,
+        rfile,
+        wfile,
+        item: Dict[str, Any],
+        result: SimulationResult,
+        phases: Optional[Dict[str, float]] = None,
+        batch: int = 1,
+    ) -> None:
         self._persist(item, result)
         frame = {
             "type": "result",
             "cell": item["cell"],
             "result": result_to_dict(result),
         }
+        if phases:
+            # Additive version-1 keys (see the protocol docstring): the
+            # coordinator folds these into its dist timing artifact; a
+            # pre-instrumentation coordinator simply ignores them.
+            frame["timings"] = phases
+            frame["batch"] = int(batch)
         if chaos.active() and chaos.should("worker.upload.corrupt"):
             # Mangled bytes on the wire: one complete line that is not
             # valid JSON.  The coordinator must reject it, drop us, and
@@ -399,11 +427,22 @@ class Worker:
                 wfile.write(b'{"type": "result", "corrupt": !!!garbage\n')
                 wfile.flush()
                 protocol.expect(protocol.read_frame(rfile), "ack")
+        upload_started = time.monotonic()
         self._request(rfile, wfile, frame, "ack")
         # Counted once the exchange is done: the coordinator may accept
         # the final result and shut down right after.
         self.completed += 1
         self._settle(item["cell"])
+        if self.timings is not None and phases:
+            local = dict(phases)
+            local["upload"] = time.monotonic() - upload_started
+            self.timings.record(
+                backend="dist",
+                label=str(item.get("label", "?")),
+                trace=str(item.get("trace_name", item.get("trace", "?"))),
+                phases=local,
+                batch=int(batch),
+            )
         if chaos.active() and chaos.should("worker.upload.duplicate"):
             # A retransmitted result: the coordinator must acknowledge it
             # (accepted: false) without double-counting.
@@ -494,6 +533,8 @@ class Worker:
             if self._spool is not None:
                 self._spool.cleanup()
                 self._spool = None
+            if self.timings is not None:
+                self.timings.write_summary()
 
     def _session(self, sock: socket.socket, pool: Optional[ProcessPoolExecutor]) -> bool:
         """One connection's worth of serving.  ``True`` means a clean end
@@ -552,9 +593,11 @@ class Worker:
                 except OSError:
                     pass
 
-    #: One leased grant in flight on the pool: its items and everything
-    #: needed to resubmit the survivors after a cell failure.
-    _Grant = Tuple[List[Dict[str, Any]], List[tuple], Trace, bool]
+    #: One leased grant in flight on the pool: its items, everything
+    #: needed to resubmit the survivors after a cell failure, and the
+    #: timing meta (submit stamp + trace-fetch seconds) for the phase
+    #: record attached to its uploads.
+    _Grant = Tuple[List[Dict[str, Any]], List[tuple], Trace, bool, Dict[str, float]]
 
     def _lease_frame(self) -> Dict[str, Any]:
         """The lease request; plain (batch-free) when batching is off.
@@ -577,7 +620,9 @@ class Worker:
         """Simulate one grant in-process, pruning cells that fail."""
         items = list(items)
         entries = list(entries)
+        trace_load = self._last_fetch_seconds
         while items:
+            simulate_started = time.monotonic()
             try:
                 results = _simulate_batch_with_chaos(entries, trace, track_per_pc)
             except BatchCellError as error:
@@ -587,8 +632,16 @@ class Worker:
                 del items[error.index]
                 del entries[error.index]
                 continue
+            # Batched cells share one traversal, so they share the grant's
+            # phase walls (see docs/OBSERVABILITY.md on interpreting batch).
+            phases = {
+                "trace_load": trace_load,
+                "simulate": time.monotonic() - simulate_started,
+            }
             for item, result in zip(items, results):
-                self._upload(rfile, wfile, item, result)
+                self._upload(
+                    rfile, wfile, item, result, phases=phases, batch=len(items)
+                )
             return
 
     def _process_grant(
@@ -635,10 +688,14 @@ class Worker:
                     # fetch hook (the child has no coordinator session),
                     # so every chunk file must be spooled to disk first.
                     ensure_local()
+                meta = {
+                    "submitted": time.monotonic(),
+                    "trace_load": self._last_fetch_seconds,
+                }
                 future = pool.submit(
                     _simulate_batch_with_chaos, entries, trace, track_per_pc
                 )
-                in_flight[future] = (group, entries, trace, track_per_pc)
+                in_flight[future] = (group, entries, trace, track_per_pc, meta)
 
     def _drain_one(
         self, rfile, wfile,
@@ -648,11 +705,22 @@ class Worker:
         """Wait for at least one pool grant and upload / retry / fail it."""
         done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
         for future in done:
-            items, entries, trace, track_per_pc = in_flight.pop(future)
+            items, entries, trace, track_per_pc, meta = in_flight.pop(future)
             error = future.exception()
             if error is None:
+                # Pool "simulate" is submit-to-completion turnaround, so
+                # it includes any queue wait behind other grants.
+                phases = {
+                    "trace_load": meta.get("trace_load", 0.0),
+                    "simulate": time.monotonic() - meta.get(
+                        "submitted", time.monotonic()
+                    ),
+                }
                 for item, result in zip(items, future.result()):
-                    self._upload(rfile, wfile, item, result)
+                    self._upload(
+                        rfile, wfile, item, result,
+                        phases=phases, batch=len(items),
+                    )
             elif isinstance(error, BatchCellError):
                 self._report_failure(
                     rfile, wfile, items[error.index], error.original
@@ -667,7 +735,9 @@ class Worker:
                     retry = pool.submit(
                         _simulate_batch_with_chaos, rest_entries, trace, track_per_pc
                     )
-                    in_flight[retry] = (rest_items, rest_entries, trace, track_per_pc)
+                    in_flight[retry] = (
+                        rest_items, rest_entries, trace, track_per_pc, meta,
+                    )
             else:
                 # Not a property of any one cell (broken pool, OOM, ...):
                 # worker-fatal, the coordinator requeues our leases.

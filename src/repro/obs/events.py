@@ -1,0 +1,124 @@
+"""Structured JSONL event log with size-capped rotation.
+
+Components that want a durable, greppable record of what happened during
+a run (the coordinator's connection / requeue / settle events, chiefly)
+write one JSON object per line to ``repro.obs.log``::
+
+    {"ts": 1754650000.123, "component": "coordinator",
+     "event": "job_settled", "job": 3, "done": 4, "total": 4}
+
+The log is an *operational* artifact -- it never feeds back into
+results, store keys or scheduling, so every write is best-effort: an
+unwritable log line is dropped silently rather than failing the sweep.
+
+Rotation is by size: when the current file would exceed ``max_bytes``
+it is renamed to ``<name>.1`` (the previous ``.1`` is dropped), so a
+long-lived service keeps at most two bounded files of recent history.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Optional, Union
+
+__all__ = ["DEFAULT_EVENT_LOG", "EventLog", "event_log_for"]
+
+#: Default event-log file name (written next to the result store).
+DEFAULT_EVENT_LOG = "repro.obs.log"
+
+#: Environment variable overriding the event log: ``0``/``off`` disables
+#: it entirely, a path value redirects it, unset keeps the default
+#: (``repro.obs.log`` next to the store, when there is a store).
+_EVENT_LOG_ENV = "REPRO_OBS_LOG"
+
+#: Default rotation threshold: two files of this bound recent history.
+DEFAULT_MAX_BYTES = 4 * 1024 * 1024
+
+
+class EventLog:
+    """Appends timestamped, component-tagged JSON records to one file.
+
+    Parameters
+    ----------
+    path:
+        The JSONL file (parent directories are created on first write).
+    component:
+        Default ``"component"`` tag of emitted records (per-call
+        override via :meth:`emit`'s ``component=``).
+    max_bytes:
+        Rotation threshold; a write that would push the file past this
+        renames it to ``<name>.1`` first.  ``0`` disables rotation.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        component: str = "repro",
+        max_bytes: int = DEFAULT_MAX_BYTES,
+    ) -> None:
+        self.path = Path(path)
+        self.component = component
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+
+    def emit(self, event: str, component: Optional[str] = None, **fields: Any) -> None:
+        """Append one record (best-effort; never raises on I/O trouble)."""
+        record = {
+            "ts": time.time(),
+            "component": component or self.component,
+            "event": event,
+        }
+        record.update(fields)
+        try:
+            line = json.dumps(record, ensure_ascii=False, default=repr) + "\n"
+        except (TypeError, ValueError):
+            return
+        data = line.encode("utf-8")
+        with self._lock:
+            try:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._rotate_locked(len(data))
+                with open(self.path, "ab") as handle:
+                    handle.write(data)
+            except OSError:
+                pass  # operational logging must never fail the run
+
+    def _rotate_locked(self, incoming: int) -> None:
+        if self.max_bytes <= 0:
+            return
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return
+        if size + incoming <= self.max_bytes:
+            return
+        backup = self.path.with_name(self.path.name + ".1")
+        try:
+            os.replace(self.path, backup)
+        except OSError:
+            pass
+
+
+def event_log_for(
+    root: Union[str, Path, None], component: str = "repro"
+) -> Optional[EventLog]:
+    """The event log for a store/artifact directory, honouring the env gate.
+
+    ``REPRO_OBS_LOG`` set to ``0``/``off`` returns ``None``; set to a
+    path, that path is used regardless of ``root``; unset, the log is
+    ``<root>/repro.obs.log`` (or ``None`` when there is no ``root`` to
+    anchor it to).
+    """
+    value = os.environ.get(_EVENT_LOG_ENV)
+    if value is not None:
+        stripped = value.strip()
+        if stripped.lower() in ("", "0", "off", "false"):
+            return None
+        return EventLog(stripped, component=component)
+    if root is None:
+        return None
+    return EventLog(Path(root) / DEFAULT_EVENT_LOG, component=component)

@@ -1,0 +1,319 @@
+"""Lightweight in-process metrics: counters, gauges, fixed-bucket histograms.
+
+One process-wide :class:`MetricsRegistry` (see :func:`default_registry`)
+collects operational counters from the coordinator, the suite runner and
+the status server, and renders them in the Prometheus text exposition
+format for the ``/metrics`` endpoint (:mod:`repro.obs.http`).
+
+Design constraints, in order:
+
+* **stdlib only** -- no client library; the text format is simple enough
+  to emit directly.
+* **Thread-safe** -- metrics are updated from connection threads, the
+  scheduler lock and pool callbacks; each metric carries its own lock.
+* **Near-zero cost when disabled** -- a disabled registry hands out
+  shared null metrics whose ``inc``/``set``/``observe`` are empty
+  one-line methods, so instrumented hot paths pay one attribute call and
+  nothing else.  ``REPRO_TELEMETRY=0`` (or ``off``) disables the default
+  registry.
+
+Metrics are **names + values**, no label sets: everything this service
+wants to expose is either a plain scalar or splits naturally into a few
+distinct names (``repro_results_accepted_total`` vs
+``repro_results_duplicate_total``), and label-free metrics keep both the
+registry and the exposition code small enough to audit.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TIME_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+]
+
+#: Environment variable gating the default registry: ``0``/``off``/``false``
+#: disables telemetry (null metrics everywhere), anything else enables it.
+_TELEMETRY_ENV = "REPRO_TELEMETRY"
+
+#: Log-spaced second buckets for wall-time histograms: fine enough at the
+#: fast end to see a per-cell simulation, wide enough at the slow end to
+#: bound a stuck trace fetch.  ``+Inf`` is implicit.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+)
+
+
+def _valid_name(name: str) -> str:
+    if not name or not all(c.isalnum() or c in "_:" for c in name):
+        raise ValueError(f"invalid metric name {name!r}")
+    if name[0].isdigit():
+        raise ValueError(f"metric name cannot start with a digit: {name!r}")
+    return name
+
+
+class Counter:
+    """A monotonically increasing count (events, cells, requests)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = _valid_name(name)
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def render(self) -> List[str]:
+        return [f"{self.name} {_format_value(self.value())}"]
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, connections)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = _valid_name(name)
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: Union[int, float]) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def render(self) -> List[str]:
+        return [f"{self.name} {_format_value(self.value())}"]
+
+
+class Histogram:
+    """Fixed-bucket histogram of observed values (wall times, sizes).
+
+    Buckets are cumulative upper bounds, Prometheus-style; ``+Inf`` is
+    implicit.  ``observe`` is O(buckets) with one lock -- fine for the
+    per-cell cadence this repository runs at.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> None:
+        self.name = _valid_name(name)
+        self.help = help
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self._counts = [0] * (len(bounds) + 1)  # last slot: +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: Union[int, float]) -> None:
+        value = float(value)
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for index, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self._counts[index] += 1
+                    return
+            self._counts[-1] += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict form: cumulative bucket counts, sum and count."""
+        with self._lock:
+            counts = list(self._counts)
+            total_sum, total_count = self._sum, self._count
+        cumulative: Dict[str, int] = {}
+        running = 0
+        for bound, count in zip(self.bounds, counts[:-1]):
+            running += count
+            cumulative[_format_value(bound)] = running
+        cumulative["+Inf"] = running + counts[-1]
+        return {"buckets": cumulative, "sum": total_sum, "count": total_count}
+
+    def render(self) -> List[str]:
+        snap = self.snapshot()
+        lines = [
+            f'{self.name}_bucket{{le="{bound}"}} {count}'
+            for bound, count in snap["buckets"].items()
+        ]
+        lines.append(f"{self.name}_sum {_format_value(snap['sum'])}")
+        lines.append(f"{self.name}_count {snap['count']}")
+        return lines
+
+
+class _NullMetric:
+    """Shared do-nothing stand-in handed out by a disabled registry."""
+
+    kind = "null"
+    name = "null"
+    help = ""
+    bounds: Tuple[float, ...] = ()
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        pass
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        pass
+
+    def set(self, value: Union[int, float]) -> None:
+        pass
+
+    def observe(self, value: Union[int, float]) -> None:
+        pass
+
+    def value(self) -> float:
+        return 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"buckets": {}, "sum": 0.0, "count": 0}
+
+    def render(self) -> List[str]:
+        return []
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class MetricsRegistry:
+    """Holds named metrics and renders them all at once.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking twice
+    for the same name returns the same object, so instrumentation sites
+    do not need to coordinate creation.  Re-using a name across metric
+    kinds is an error (it would render two conflicting type lines).
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self._metrics: Dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, kind: str, name: str, factory):
+        if not self.enabled:
+            return _NULL_METRIC
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if existing.kind != kind:
+                    raise ValueError(
+                        f"metric {name!r} already registered as a "
+                        f"{existing.kind}, not a {kind}"
+                    )
+                return existing
+            metric = factory()
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create("counter", name, lambda: Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create("gauge", name, lambda: Gauge(name, help))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            "histogram", name, lambda: Histogram(name, help, buckets)
+        )
+
+    def metrics(self) -> List[object]:
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe dump of every metric (for tests and debugging)."""
+        out: Dict[str, object] = {}
+        for metric in self.metrics():
+            if metric.kind == "histogram":
+                out[metric.name] = metric.snapshot()
+            else:
+                out[metric.name] = metric.value()
+        return out
+
+    def render_prometheus(self) -> str:
+        """All metrics in the Prometheus text exposition format (0.0.4)."""
+        lines: List[str] = []
+        for metric in self.metrics():
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            lines.extend(metric.render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+_DEFAULT: Optional[MetricsRegistry] = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def telemetry_enabled() -> bool:
+    """Whether ``REPRO_TELEMETRY`` leaves telemetry on (the default)."""
+    value = os.environ.get(_TELEMETRY_ENV, "")
+    return value.strip().lower() not in ("0", "off", "false")
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry (created on first use; honours
+    ``REPRO_TELEMETRY`` at creation time)."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        if _DEFAULT is None:
+            _DEFAULT = MetricsRegistry(enabled=telemetry_enabled())
+        return _DEFAULT
+
+
+def reset_default_registry() -> None:
+    """Drop the process-wide registry (tests re-evaluate the env gate)."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        _DEFAULT = None

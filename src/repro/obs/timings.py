@@ -1,0 +1,242 @@
+"""Per-cell timing artifacts: ``timings.jsonl`` + aggregated histograms.
+
+Every completed sweep cell -- serial, pool or distributed -- can record
+where its wall time went, split into named phases, so a slow run is
+diagnosable *from its artifacts* after the fact (no re-run under a
+profiler).  Records are one JSON object per line in ``timings.jsonl``
+next to the :class:`~repro.store.ResultStore` the run writes to, plus an
+aggregated ``timings_summary.json`` with per-phase fixed-bucket
+histograms.
+
+Record schema (one line per completed cell)::
+
+    {"ts": 1754650000.12,        # wall-clock write time
+     "component": "runner",      # runner | worker | coordinator
+     "backend": "serial",        # serial | pool | dist
+     "label": "tage-gsc+oh",     # the cell's spec label
+     "trace": "SPEC2K6-00",      # the cell's trace name
+     "batch": 4,                 # cells sharing the recorded phase walls
+     "phases": {"trace_load": 0.01, "simulate": 0.82,
+                "store_write": 0.002}}       # seconds, per phase
+
+Phase names by path:
+
+* **serial / pool** (``component: runner``): ``simulate`` and
+  ``store_write``; batched groups share one ``simulate`` wall across
+  their ``batch`` cells, and pool records measure submit-to-completion
+  turnaround (queue wait included).
+* **dist, coordinator side** (``component: coordinator``): the worker's
+  reported ``trace_load`` / ``simulate`` plus ``total`` (lease grant to
+  accepted upload, so ``total - simulate - trace_load`` approximates
+  wire + upload overhead).
+* **dist, worker side** (``component: worker``; only with a worker-local
+  ``--store``): ``trace_load``, ``simulate`` and the measured ``upload``
+  exchange.
+
+Timing capture is on whenever a run has a store to anchor the artifact
+to, and off otherwise; ``REPRO_TIMINGS=0`` (or ``off``) disables it
+explicitly.  Writes are single ``write()`` calls on an append-mode
+handle, so concurrent writers (a coordinator and a same-host worker
+sharing one store) interleave whole lines, never fragments.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+from repro.obs.metrics import DEFAULT_TIME_BUCKETS, Histogram
+
+__all__ = [
+    "TIMINGS_FILE",
+    "TIMINGS_SUMMARY_FILE",
+    "TimingLog",
+    "summarize_timings",
+    "timing_log_for",
+    "timings_enabled",
+]
+
+#: File names written next to the result store root.
+TIMINGS_FILE = "timings.jsonl"
+TIMINGS_SUMMARY_FILE = "timings_summary.json"
+
+#: Environment variable gating timing capture: ``0``/``off`` disables.
+_TIMINGS_ENV = "REPRO_TIMINGS"
+
+
+def timings_enabled() -> bool:
+    """Whether ``REPRO_TIMINGS`` leaves timing capture on (the default)."""
+    value = os.environ.get(_TIMINGS_ENV, "")
+    return value.strip().lower() not in ("0", "off", "false")
+
+
+class TimingLog:
+    """Appends per-cell phase timings and aggregates them into histograms.
+
+    Parameters
+    ----------
+    path:
+        The ``timings.jsonl`` file (parents created on first write).
+    component:
+        ``"component"`` tag of every record from this log.
+    """
+
+    def __init__(self, path: Union[str, Path], component: str) -> None:
+        self.path = Path(path)
+        self.component = component
+        self.records_written = 0
+        self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+        self._summary_stamp = -1
+
+    def record(
+        self,
+        *,
+        backend: str,
+        label: str,
+        trace: str,
+        phases: Mapping[str, float],
+        batch: int = 1,
+    ) -> None:
+        """Append one cell's record (best-effort; never fails the run)."""
+        clean = {
+            str(name): float(value)
+            for name, value in phases.items()
+            if isinstance(value, (int, float)) and float(value) >= 0.0
+        }
+        if not clean:
+            return
+        record = {
+            "ts": time.time(),
+            "component": self.component,
+            "backend": str(backend),
+            "label": str(label),
+            "trace": str(trace),
+            "batch": int(batch),
+            "phases": clean,
+        }
+        line = (json.dumps(record, ensure_ascii=False) + "\n").encode("utf-8")
+        with self._lock:
+            for name, value in clean.items():
+                histogram = self._histograms.get(name)
+                if histogram is None:
+                    histogram = Histogram(
+                        f"repro_phase_{_metric_safe(name)}_seconds",
+                        buckets=DEFAULT_TIME_BUCKETS,
+                    )
+                    self._histograms[name] = histogram
+                histogram.observe(value)
+            try:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                with open(self.path, "ab") as handle:
+                    handle.write(line)
+                self.records_written += 1
+            except OSError:
+                pass
+
+    def summary(self) -> Dict[str, Any]:
+        """Per-phase aggregates of everything recorded by this instance."""
+        with self._lock:
+            return {
+                "component": self.component,
+                "records": self.records_written,
+                "phases": {
+                    name: histogram.snapshot()
+                    for name, histogram in sorted(self._histograms.items())
+                },
+            }
+
+    def write_summary(self, path: Union[str, Path, None] = None) -> Optional[Path]:
+        """Persist :meth:`summary` as JSON next to the timings file.
+
+        Skipped (returns ``None``) when nothing new was recorded since
+        the last write, so callers can flush at every natural boundary
+        without rewriting an unchanged file.
+        """
+        with self._lock:
+            if self.records_written == self._summary_stamp:
+                return None
+            self._summary_stamp = self.records_written
+        target = (
+            Path(path)
+            if path is not None
+            else self.path.with_name(TIMINGS_SUMMARY_FILE)
+        )
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(
+                json.dumps(self.summary(), indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+        except OSError:
+            return None
+        return target
+
+
+def timing_log_for(
+    root: Union[str, Path, None], component: str
+) -> Optional[TimingLog]:
+    """The timing log anchored at a store root, honouring ``REPRO_TIMINGS``.
+
+    ``None`` when there is no root to anchor the artifact to or capture
+    is disabled.
+    """
+    if root is None or not timings_enabled():
+        return None
+    return TimingLog(Path(root) / TIMINGS_FILE, component=component)
+
+
+def summarize_timings(path: Union[str, Path]) -> Dict[str, Any]:
+    """Offline aggregation of a ``timings.jsonl`` file (any writers).
+
+    Unlike :meth:`TimingLog.summary` (this process's records only), this
+    reads the file back, so it covers every component that appended to
+    it.  Malformed lines are skipped and counted.
+    """
+    histograms: Dict[str, Histogram] = {}
+    records = 0
+    skipped = 0
+    by_component: Dict[str, int] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                phases = record["phases"]
+                if not isinstance(phases, dict):
+                    raise TypeError("phases is not an object")
+            except (ValueError, KeyError, TypeError):
+                skipped += 1
+                continue
+            records += 1
+            component = str(record.get("component", "?"))
+            by_component[component] = by_component.get(component, 0) + 1
+            for name, value in phases.items():
+                if not isinstance(value, (int, float)):
+                    continue
+                histogram = histograms.get(name)
+                if histogram is None:
+                    histogram = Histogram(
+                        f"repro_phase_{_metric_safe(str(name))}_seconds"
+                    )
+                    histograms[str(name)] = histogram
+                histogram.observe(float(value))
+    return {
+        "records": records,
+        "skipped": skipped,
+        "by_component": by_component,
+        "phases": {
+            name: histogram.snapshot()
+            for name, histogram in sorted(histograms.items())
+        },
+    }
+
+
+def _metric_safe(name: str) -> str:
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)

@@ -1,0 +1,163 @@
+"""``repro top`` -- a curses-free live view of a running coordinator.
+
+Polls the HTTP status surface (:mod:`repro.obs.http`) and redraws a
+plain-text dashboard: overall progress with ETA, a jobs table, worker
+health, degradation counters and a throughput sparkline built from the
+client-side history of ``cells_per_second`` samples.  No curses, no
+third-party TUI -- just ANSI clear-screen between frames (disable with
+``--no-clear`` for dumb terminals or log capture).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Sequence, TextIO
+
+__all__ = ["render", "run_top", "sparkline"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def sparkline(samples: Sequence[float], width: int = 30) -> str:
+    """Unicode sparkline of the most recent ``width`` samples."""
+    tail = list(samples)[-width:]
+    if not tail:
+        return ""
+    top = max(tail)
+    if top <= 0:
+        return _SPARK_LEVELS[0] * len(tail)
+    scale = len(_SPARK_LEVELS) - 1
+    return "".join(
+        _SPARK_LEVELS[min(scale, int(round(value / top * scale)))] for value in tail
+    )
+
+
+def _format_seconds(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "n/a"
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.1f}s"
+
+
+def render(
+    status: Dict[str, Any],
+    jobs: Sequence[Dict[str, Any]],
+    workers: Sequence[Dict[str, Any]],
+    rate_samples: Sequence[float],
+) -> str:
+    """One dashboard frame from status-surface snapshots (pure; tested)."""
+    lines: List[str] = []
+    done = int(status.get("cells_done") or 0)
+    total = int(status.get("cells_total") or 0)
+    rate = status.get("cells_per_second")
+    percent = (100.0 * done / total) if total else 0.0
+    lines.append(
+        f"repro top · up {_format_seconds(status.get('uptime_seconds'))}"
+        f" · jobs {status.get('jobs_active', 0)}/{status.get('jobs_total', 0)} active"
+        f" · workers {status.get('workers', 0)}"
+    )
+    rate_text = f"{rate:.2f} cells/s" if isinstance(rate, (int, float)) else "-- cells/s"
+    lines.append(
+        f"cells {done}/{total} ({percent:.0f}%) · {rate_text}"
+        f" · ETA {_format_seconds(status.get('eta_seconds'))}"
+    )
+    spark = sparkline(rate_samples)
+    if spark:
+        lines.append(f"throughput {spark}")
+    stats = status.get("stats") or {}
+    degraded = [
+        f"{key} {stats[key]}"
+        for key in ("requeued", "retried", "quarantined")
+        if stats.get(key)
+    ]
+    if degraded:
+        lines.append("degradation: " + ", ".join(degraded))
+    if jobs:
+        lines.append("")
+        lines.append(f"{'JOB':>4}  {'DONE':>10}  {'STATE':<9} LABELS")
+        for job in jobs:
+            state = (
+                "error"
+                if job.get("error")
+                else ("finished" if job.get("finished") else "running")
+            )
+            labels = ",".join(job.get("labels") or [])
+            if len(labels) > 40:
+                labels = labels[:37] + "..."
+            lines.append(
+                f"{job.get('job', '?'):>4}"
+                f"  {job.get('done', 0):>4}/{job.get('total', 0):<5}"
+                f"  {state:<9} {labels}"
+            )
+    if workers:
+        lines.append("")
+        lines.append(f"{'WORKER':<24} {'LEASES':>6} {'DONE':>6} {'SEEN':>8}")
+        for worker in workers:
+            seen = worker.get("last_seen_seconds")
+            seen_text = f"{seen:.1f}s" if isinstance(seen, (int, float)) else "n/a"
+            lines.append(
+                f"{str(worker.get('name', '?'))[:24]:<24}"
+                f" {worker.get('leases', 0):>6}"
+                f" {worker.get('completed', 0):>6}"
+                f" {seen_text:>8}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def _fetch(base: str, path: str, timeout: float) -> Any:
+    with urllib.request.urlopen(base + path, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def run_top(
+    connect: str,
+    interval: float = 2.0,
+    iterations: Optional[int] = None,
+    clear: bool = True,
+    stream: Optional[TextIO] = None,
+) -> int:
+    """Poll ``connect`` (``host:port``) and redraw until interrupted.
+
+    ``iterations`` bounds the frame count (for tests and one-shot
+    checks); ``None`` polls until Ctrl-C.  Returns 0 on a clean exit,
+    4 when the status endpoint was never reachable.
+    """
+    out = stream if stream is not None else sys.stdout
+    base = f"http://{connect}"
+    samples: Deque[float] = deque(maxlen=120)
+    frames = 0
+    reached = False
+    try:
+        while iterations is None or frames < iterations:
+            if frames:
+                time.sleep(interval)
+            frames += 1
+            try:
+                status = _fetch(base, "/status", timeout=5.0)
+                jobs = _fetch(base, "/jobs", timeout=5.0).get("jobs", [])
+                workers = _fetch(base, "/workers", timeout=5.0).get("workers", [])
+            except (urllib.error.URLError, OSError, ValueError) as error:
+                if clear:
+                    out.write(_CLEAR)
+                out.write(f"repro top: {base} unreachable ({error})\n")
+                out.flush()
+                continue
+            reached = True
+            rate = status.get("cells_per_second")
+            samples.append(float(rate) if isinstance(rate, (int, float)) else 0.0)
+            if clear:
+                out.write(_CLEAR)
+            out.write(render(status, jobs, workers, samples))
+            out.flush()
+    except KeyboardInterrupt:
+        pass
+    return 0 if reached else 4

@@ -33,11 +33,13 @@ pickle by directory, so the pool backend works unchanged).
 from __future__ import annotations
 
 import hashlib
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import (
     TYPE_CHECKING,
+    Any,
     Callable,
     Dict,
     Iterable,
@@ -49,6 +51,7 @@ from typing import (
     Union,
 )
 
+from repro.obs.timings import TimingLog, timing_log_for
 from repro.predictors.base import BranchPredictor
 from repro.predictors.composites import CompositeOptions, SizeProfile, core_key_for
 from repro.sim.engine import SimulationResult, simulate, simulate_many
@@ -348,6 +351,13 @@ class SuiteRunner:
         batching entirely, restoring one simulation task per cell.
         Batching never changes results, store cell keys or exported
         bytes -- it only changes how many cells one task covers.
+    timings:
+        Per-cell timing artifact (see :mod:`repro.obs.timings`).
+        ``None``/``True`` (default) writes ``timings.jsonl`` next to the
+        result store when one is configured (honouring
+        ``REPRO_TIMINGS``); ``False`` disables capture; a path or
+        :class:`~repro.obs.timings.TimingLog` redirects it.  Timing
+        capture never changes results or store bytes.
     """
 
     def __init__(
@@ -359,6 +369,7 @@ class SuiteRunner:
         backend: Union[str, "ExecutionBackend", None] = None,
         progress: Optional[Callable[[int, int], None]] = None,
         batch: Union[bool, int, None] = None,
+        timings: Union[TimingLog, str, Path, None, bool] = None,
     ) -> None:
         if not traces:
             raise ValueError("the runner needs at least one trace")
@@ -384,6 +395,17 @@ class SuiteRunner:
         self.backend = backend
         self.progress = progress
         self.batch = batch
+        if timings is False:
+            self.timings: Optional[TimingLog] = None
+        elif isinstance(timings, TimingLog):
+            self.timings = timings
+        elif isinstance(timings, (str, Path)):
+            self.timings = TimingLog(timings, component="runner")
+        else:  # None / True: anchor next to the store, when there is one
+            self.timings = timing_log_for(
+                self.store.root if self.store is not None else None,
+                component="runner",
+            )
         #: (validity stamp, run) per key -- see ``_CacheKey``/``_CacheEntry``.
         self._cache: Dict[_CacheKey, _CacheEntry] = {}
         self._pool: Optional[ProcessPoolExecutor] = None
@@ -624,11 +646,26 @@ class SuiteRunner:
                         self.store.get(store_keys[index]) if store_keys else None
                     )
                     if result is None:
+                        simulate_started = time.monotonic()
                         result = simulate(
                             spec.build(registry), trace, track_per_pc=track_per_pc
                         )
+                        simulate_seconds = time.monotonic() - simulate_started
+                        store_seconds = None
                         if store_keys:
+                            store_started = time.monotonic()
                             self._store_put(store_keys[index], result, resolved, trace)
+                            store_seconds = time.monotonic() - store_started
+                        if self.timings is not None:
+                            phases = {"simulate": simulate_seconds}
+                            if store_seconds is not None:
+                                phases["store_write"] = store_seconds
+                            self.timings.record(
+                                backend="serial",
+                                label=spec.label,
+                                trace=trace.name,
+                                phases=phases,
+                            )
                     else:
                         # The stored cell may have been written under another
                         # display name for the same content.
@@ -637,6 +674,8 @@ class SuiteRunner:
                     self._progress_advance()
         finally:
             self._progress_end(owned)
+            if self.timings is not None:
+                self.timings.write_summary()
         self._cache[key] = (token, run)
         return run
 
@@ -704,6 +743,8 @@ class SuiteRunner:
             }
         finally:
             self._progress_end(owned)
+            if self.timings is not None:
+                self.timings.write_summary()
 
     def _get_pool(self) -> ProcessPoolExecutor:
         """Worker pool, created on first use and reused across runs.
@@ -721,6 +762,8 @@ class SuiteRunner:
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+        if self.timings is not None:
+            self.timings.write_summary()
 
     def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
         try:
@@ -767,13 +810,27 @@ class SuiteRunner:
                 label: _default_profile(spec.profile)
                 for label, spec in specs.items()
             }
-            for (label, index), result in self._execute_pending(
+            for (label, index), result, timing in self._execute_pending(
                 specs, sizes, pending, track_per_pc
             ):
                 keys = store_keys[label]
+                store_seconds = None
                 if keys:
+                    store_started = time.monotonic()
                     self._store_put(
                         keys[index], result, specs[label], self.traces[index]
+                    )
+                    store_seconds = time.monotonic() - store_started
+                if self.timings is not None and timing is not None:
+                    phases = dict(timing["phases"])
+                    if store_seconds is not None:
+                        phases["store_write"] = store_seconds
+                    self.timings.record(
+                        backend=timing["backend"],
+                        label=label,
+                        trace=self.traces[index].name,
+                        phases=phases,
+                        batch=timing.get("batch", 1),
                     )
                 slots[label][index] = result
         for label in specs:
@@ -828,8 +885,8 @@ class SuiteRunner:
         sizes: Mapping[str, SizeProfile],
         pending: Sequence[Tuple[str, int]],
         track_per_pc: bool,
-    ) -> Iterable[Tuple[Tuple[str, int], SimulationResult]]:
-        """Yield ``((label, index), result)`` for every missing cell.
+    ) -> Iterable[Tuple[Tuple[str, int], SimulationResult, Optional[Dict[str, Any]]]]:
+        """Yield ``((label, index), result, timing)`` for every missing cell.
 
         Dispatches to the backend object when one is set; otherwise
         same-trace cells are grouped into batched tasks (one
@@ -839,6 +896,12 @@ class SuiteRunner:
         Results are yielded as they become available so the caller
         persists completed cells incrementally (an interrupted sweep
         keeps what finished).
+
+        ``timing`` is ``None`` (backend-object cells: the backend owns its
+        own timing artifact) or ``{"backend", "phases", "batch"}`` with a
+        measured ``simulate`` wall -- pool cells measure submit-to-result
+        turnaround (queue wait included), and batched cells share one
+        group wall across their ``batch`` cells.
         """
         backend = self.backend if not isinstance(self.backend, str) else None
         if backend is not None:
@@ -865,7 +928,7 @@ class SuiteRunner:
                         f"backend {getattr(backend, 'name', backend)!r} returned "
                         f"no result for cell ({label!r}, {self.traces[index].name})"
                     )
-                yield cell, result
+                yield cell, result, None
             return
         use_pool = self.backend == "pool" or (
             self.backend is None
@@ -881,12 +944,18 @@ class SuiteRunner:
                     sizes[label],
                     self.traces[index],
                     track_per_pc,
-                ): (label, index)
+                ): (label, index, time.monotonic())
                 for label, index in pending
             }
             for future in as_completed(futures):
                 self._progress_advance()
-                yield futures[future], future.result()
+                label, index, submitted = futures[future]
+                timing = {
+                    "backend": "pool",
+                    "phases": {"simulate": time.monotonic() - submitted},
+                    "batch": 1,
+                }
+                yield (label, index), future.result(), timing
             return
         groups = self._group_pending(pending, use_pool, specs, sizes)
         if use_pool:
@@ -897,14 +966,19 @@ class SuiteRunner:
                     [(specs[label].to_dict(), sizes[label]) for label in labels],
                     self.traces[index],
                     track_per_pc,
-                ): (index, labels)
+                ): (index, labels, time.monotonic())
                 for index, labels in groups
             }
             for future in as_completed(batch_futures):
-                index, labels = batch_futures[future]
+                index, labels, submitted = batch_futures[future]
+                timing = {
+                    "backend": "pool",
+                    "phases": {"simulate": time.monotonic() - submitted},
+                    "batch": len(labels),
+                }
                 for label, result in zip(labels, self._batch_results(future.result)):
                     self._progress_advance()
-                    yield (label, index), result
+                    yield (label, index), result, timing
             return
         for index, labels in groups:
             entries = [(specs[label].to_dict(), sizes[label]) for label in labels]
@@ -912,9 +986,16 @@ class SuiteRunner:
             def _run(entries=entries, index=index):
                 return _simulate_spec_batch(entries, self.traces[index], track_per_pc)
 
-            for label, result in zip(labels, self._batch_results(_run)):
+            group_started = time.monotonic()
+            results = self._batch_results(_run)
+            timing = {
+                "backend": "serial",
+                "phases": {"simulate": time.monotonic() - group_started},
+                "batch": len(labels),
+            }
+            for label, result in zip(labels, results):
                 self._progress_advance()
-                yield (label, index), result
+                yield (label, index), result, timing
 
     @staticmethod
     def _batch_results(run: Callable[[], List[SimulationResult]]) -> List[SimulationResult]:

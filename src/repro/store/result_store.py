@@ -395,6 +395,47 @@ class ResultStore:
             record["age_seconds"] = age
             yield record
 
+    def summary(self) -> Dict[str, Any]:
+        """One-line occupancy totals: cells, bytes on disk, distinct
+        specs, distinct traces.
+
+        Backs ``repro store ls --summary`` and the coordinator's
+        ``/store`` endpoint.  Corrupt records still count their bytes
+        (they occupy the disk) but not their spec/trace identities.
+        """
+        cells = 0
+        size = 0
+        specs: set = set()
+        traces: set = set()
+        for path in self._record_paths():
+            try:
+                size += path.stat().st_size
+            except OSError:
+                pass
+            try:
+                record = _load_record(path)
+            except _CORRUPT_ERRORS:
+                continue
+            cells += 1
+            spec = record.get("spec")
+            if isinstance(spec, dict):
+                try:
+                    specs.add(json.dumps(spec, sort_keys=True, default=repr))
+                except (TypeError, ValueError):
+                    specs.add(f"label:{record.get('label')}")
+            else:
+                specs.add(f"label:{record.get('label')}")
+            fingerprint = record.get("trace_fingerprint")
+            if isinstance(fingerprint, str):
+                traces.add(fingerprint)
+        return {
+            "root": str(self.root),
+            "cells": cells,
+            "bytes": size,
+            "distinct_specs": len(specs),
+            "distinct_traces": len(traces),
+        }
+
     def gc(self, older_than_seconds: float) -> int:
         """Remove records whose file mtime is older than the cut-off.
 
