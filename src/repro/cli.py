@@ -81,6 +81,7 @@ DEFAULT_PORT = 4780
 #: 2 stays argparse/usage errors, 130 stays SIGINT.
 EXIT_BIND_FAILURE = 3  # `repro serve` could not bind its listen port
 EXIT_UNREACHABLE = 4  # `repro worker` never reached a coordinator
+EXIT_CORRUPTION = 5  # `repro store verify` found corrupt/truncated records
 
 __all__ = ["build_parser", "main"]
 
@@ -436,6 +437,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON document to ingest ('-' for stdin, the default)",
     )
     _add_store_argument(store_import)
+    store_verify = store_sub.add_parser(
+        "verify",
+        help="scrub every stored record against its embedded checksum "
+             "(docs/INTEGRITY.md)",
+    )
+    store_verify.add_argument(
+        "--repair", action="store_true",
+        help="quarantine corrupt/truncated records into <store>/corrupt/ so "
+             "the next sweep recomputes those cells",
+    )
+    store_verify.add_argument(
+        "--json", dest="json_output", action="store_true",
+        help="machine-readable output: the full verification report",
+    )
+    _add_store_argument(store_verify)
 
     ingest = subparsers.add_parser(
         "ingest",
@@ -599,9 +615,15 @@ def _resolve_store(path: Optional[str]) -> Optional[ResultStore]:
 
 def _report_store_use(store: Optional[ResultStore]) -> None:
     if store is not None and (store.hits or store.misses):
+        shed = (
+            f", {store.writes_shed} write(s) SHED (disk critical -- see "
+            f"REPRO_DISK_HEADROOM)"
+            if store.writes_shed
+            else ""
+        )
         print(
             f"result store {store.root}: {store.hits} cell(s) reused, "
-            f"{store.misses} computed",
+            f"{store.misses} computed{shed}",
             file=sys.stderr,
         )
 
@@ -1208,6 +1230,38 @@ def _command_store(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 0 if not skipped else 1
+    if args.store_command == "verify":
+        report = store.verify(repair=args.repair)
+        bad = report["corrupt"] + report["truncated"]
+        if args.json_output:
+            print(json.dumps(report, indent=2, sort_keys=True))
+            return EXIT_CORRUPTION if bad else 0
+        print(
+            f"scanned {report['scanned']} record(s) in {report['root']}: "
+            f"{report['ok']} ok, {report['legacy']} legacy (no checksum), "
+            f"{report['corrupt']} corrupt, {report['truncated']} truncated"
+        )
+        for problem in report["problems"]:
+            line = (
+                f"  {problem['status']:<9} {(problem['key'] or '?')[:12]}  "
+                f"{problem['detail']}"
+            )
+            if problem.get("quarantined_to"):
+                line += f" -> quarantined to {problem['quarantined_to']}"
+            print(line)
+        if bad and args.repair:
+            print(
+                f"quarantined {report['quarantined']} record(s); the next "
+                "sweep will recompute those cells",
+                file=sys.stderr,
+            )
+        elif bad:
+            print(
+                "re-run with --repair to quarantine them so the next sweep "
+                "recomputes those cells",
+                file=sys.stderr,
+            )
+        return EXIT_CORRUPTION if bad else 0
     raise AssertionError(
         f"unhandled store command {args.store_command!r}"
     )  # pragma: no cover

@@ -1,0 +1,240 @@
+"""Free-disk headroom guard for every write path in the service.
+
+Long sweeps write continuously -- result records, the coordinator
+journal, worker trace spools, telemetry artifacts -- and a full disk
+turns each of those into a different flavour of undefined behaviour
+mid-run.  This module centralises one question ("how close to full is
+the disk under this path?") so each write path can degrade
+deliberately instead of failing arbitrarily:
+
+* **ok** -- plenty of headroom; write normally.
+* **low** -- below the low-water mark; best-effort artifacts should
+  shed and the dist worker advertises ``low_disk`` so the coordinator
+  stops routing spool-hungry (chunked-trace) work to it.
+* **critical** -- below the critical mark; durable writes (store
+  records, journal appends) refuse up front with one actionable
+  :class:`DiskPressureError` instead of leaving a half-written file,
+  and the coordinator sheds new job admissions.
+
+Probes go through :func:`shutil.disk_usage` on the nearest existing
+ancestor of the queried path and are cached for a short TTL per
+anchor, so guarding a hot write loop costs a dict lookup, not a
+``statvfs`` per record.
+
+Thresholds default to :data:`DEFAULT_LOW_BYTES` /
+:data:`DEFAULT_CRITICAL_BYTES` and can be overridden (or disabled)
+with the ``REPRO_DISK_HEADROOM`` environment variable::
+
+    REPRO_DISK_HEADROOM=2g          # low = 2 GiB, critical = low / 8
+    REPRO_DISK_HEADROOM=1g,128m     # low = 1 GiB, critical = 128 MiB
+    REPRO_DISK_HEADROOM=off         # disable all checks
+
+Sizes accept ``k`` / ``m`` / ``g`` / ``t`` binary suffixes or plain
+byte counts.  Tests force the ``low`` / ``critical`` states
+deterministically by setting thresholds far above any real disk
+(e.g. ``REPRO_DISK_HEADROOM=1t,1t``).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import threading
+import time
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+__all__ = [
+    "DEFAULT_CRITICAL_BYTES",
+    "DEFAULT_LOW_BYTES",
+    "DiskPressureError",
+    "check_writable",
+    "free_bytes",
+    "is_critical",
+    "is_low",
+    "parse_size",
+    "reset",
+    "state",
+    "thresholds",
+]
+
+#: Environment variable overriding the thresholds (see module docstring).
+ENV_VAR = "REPRO_DISK_HEADROOM"
+
+#: Default low-water mark: best-effort writes shed below this headroom.
+DEFAULT_LOW_BYTES = 512 * 1024 * 1024
+
+#: Default critical mark: durable writes refuse below this headroom.
+DEFAULT_CRITICAL_BYTES = 64 * 1024 * 1024
+
+#: Seconds a probed state stays cached per anchor directory.
+CACHE_TTL = 2.0
+
+_SUFFIXES = {"k": 1024, "m": 1024**2, "g": 1024**3, "t": 1024**4}
+
+_lock = threading.Lock()
+# anchor path -> (expires_monotonic, state, free_bytes)
+_cache: Dict[str, Tuple[float, str, Optional[int]]] = {}
+
+
+class DiskPressureError(OSError):
+    """A write was refused because disk headroom is critically low.
+
+    Subclasses :class:`OSError` so existing best-effort ``except
+    OSError`` write paths degrade the same way they would on a real
+    ``ENOSPC``; paths that surface it show one actionable message
+    instead of a half-written file.
+    """
+
+    def __init__(self, path: Union[str, Path], free: Optional[int], threshold: int,
+                 what: str = "write") -> None:
+        self.path = str(path)
+        self.free = free
+        self.threshold = threshold
+        free_text = "unknown free space" if free is None else f"{_human(free)} free"
+        super().__init__(
+            f"refusing {what} under {self.path}: {free_text} is below the "
+            f"critical disk headroom of {_human(threshold)}; free disk space "
+            f"or lower/disable the threshold via {ENV_VAR}"
+        )
+
+
+def parse_size(text: str) -> int:
+    """Parse ``"512m"`` / ``"2g"`` / ``"1048576"`` into bytes."""
+    text = text.strip().lower()
+    if not text:
+        raise ValueError("empty size")
+    factor = 1
+    if text[-1] in _SUFFIXES:
+        factor = _SUFFIXES[text[-1]]
+        text = text[:-1]
+    try:
+        value = float(text)
+    except ValueError:
+        raise ValueError(f"malformed size {text!r}") from None
+    if value < 0:
+        raise ValueError(f"size must be non-negative, got {value!r}")
+    return int(value * factor)
+
+
+def thresholds() -> Optional[Tuple[int, int]]:
+    """The ``(low, critical)`` byte thresholds, or ``None`` when disabled.
+
+    Honours ``REPRO_DISK_HEADROOM``: ``off``/``0``/``false`` disables
+    every check, ``LOW`` or ``LOW,CRITICAL`` overrides the defaults
+    (a single value derives critical as ``low // 8``, floored at the
+    default critical mark).  A malformed override disables the guard
+    rather than failing the run that tripped it.
+    """
+    raw = os.environ.get(ENV_VAR)
+    if raw is None or not raw.strip():
+        return (DEFAULT_LOW_BYTES, DEFAULT_CRITICAL_BYTES)
+    raw = raw.strip()
+    if raw.lower() in ("0", "off", "false"):
+        return None
+    parts = [part for part in raw.split(",") if part.strip()]
+    try:
+        low = parse_size(parts[0])
+        if len(parts) > 1:
+            critical = parse_size(parts[1])
+        else:
+            critical = max(low // 8, min(low, DEFAULT_CRITICAL_BYTES))
+    except (ValueError, IndexError):
+        return None
+    return (low, min(critical, low))
+
+
+def free_bytes(path: Union[str, Path]) -> Optional[int]:
+    """Free bytes on the filesystem holding ``path`` (``None`` if unknown).
+
+    Walks up to the nearest existing ancestor so paths that have not
+    been created yet (a store root before its first write) still probe
+    the right filesystem.
+    """
+    anchor = _anchor(path)
+    try:
+        return shutil.disk_usage(anchor).free
+    except OSError:
+        return None
+
+
+def state(path: Union[str, Path]) -> str:
+    """``"ok"`` / ``"low"`` / ``"critical"`` for the disk under ``path``.
+
+    Cached for :data:`CACHE_TTL` seconds per anchor directory.
+    """
+    limits = thresholds()
+    if limits is None:
+        return "ok"
+    anchor = _anchor(path)
+    now = time.monotonic()
+    with _lock:
+        cached = _cache.get(anchor)
+        if cached is not None and cached[0] > now:
+            return cached[1]
+    free = free_bytes(anchor)
+    low, critical = limits
+    if free is None:
+        status = "ok"  # an unprobeable disk must not wedge every write
+    elif free < critical:
+        status = "critical"
+    elif free < low:
+        status = "low"
+    else:
+        status = "ok"
+    with _lock:
+        _cache[anchor] = (now + CACHE_TTL, status, free)
+    return status
+
+
+def is_low(path: Union[str, Path]) -> bool:
+    """Whether the disk under ``path`` is at least low on headroom."""
+    return state(path) in ("low", "critical")
+
+
+def is_critical(path: Union[str, Path]) -> bool:
+    """Whether the disk under ``path`` is critically low on headroom."""
+    return state(path) == "critical"
+
+
+def check_writable(path: Union[str, Path], what: str = "write") -> None:
+    """Raise :class:`DiskPressureError` when the disk under ``path`` is
+    critical; a no-op otherwise.
+
+    Durable write paths (store records, journal appends) call this
+    first so disk exhaustion surfaces as one clear refusal instead of
+    a torn file.
+    """
+    if state(path) != "critical":
+        return
+    limits = thresholds()
+    critical = limits[1] if limits else DEFAULT_CRITICAL_BYTES
+    raise DiskPressureError(path, free_bytes(path), critical, what=what)
+
+
+def reset() -> None:
+    """Drop every cached probe (tests; after changing the environment)."""
+    with _lock:
+        _cache.clear()
+
+
+def _anchor(path: Union[str, Path]) -> str:
+    """The nearest existing ancestor of ``path`` (as a string cache key)."""
+    current = Path(path)
+    try:
+        current = Path(os.path.abspath(current))
+    except OSError:  # pragma: no cover - abspath on broken cwd
+        pass
+    for candidate in (current, *current.parents):
+        if candidate.exists():
+            return str(candidate)
+    return str(current)
+
+
+def _human(count: int) -> str:
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024.0:
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    return f"{value:.1f} TiB"

@@ -33,7 +33,8 @@ Each comma-separated entry is ``point[:probability[:limit[:value]]]``:
     Fault-specific float parameter -- seconds for the ``delay`` faults,
     ignored elsewhere.
 
-The points (all on the worker, where faults physically originate):
+The ``worker.*`` points (process/network faults on the worker, where
+they physically originate):
 
 ========================== ==================================================
 ``worker.lease.drop``      drop the TCP connection right after a work grant
@@ -48,6 +49,26 @@ The points (all on the worker, where faults physically originate):
                            (the coordinator must reject it and requeue)
 ``worker.upload.duplicate`` send a result frame twice (the second upload
                            must be acknowledged but ignored)
+========================== ==================================================
+
+The filesystem-boundary points (storage faults; they fire in whichever
+process owns the touched file -- coordinator, worker or a serial run):
+
+========================== ==================================================
+``store.write_enospc``     raise ``ENOSPC`` from a result-record write,
+                           after the scratch file exists but before the
+                           atomic rename (the store must leave no partial
+                           record and the sweep must still converge)
+``store.read_corrupt``     hand the record reader flipped payload bytes (a
+                           bit-rotted record; the checksum must catch it
+                           and the cell must be recomputed, never served)
+``journal.torn_tail``      append only a truncated, newline-less prefix of
+                           a journal record and fail the append (a crash
+                           mid-append; replay must skip the torn line and
+                           the next append must heal the tail)
+``spool.enospc``           raise ``ENOSPC`` from a worker trace-spool
+                           chunk write (the worker must fail the lease
+                           cleanly so the coordinator requeues it)
 ========================== ==================================================
 
 Faults deliberately produce only *recoverable* damage: every one of them
@@ -87,6 +108,10 @@ FAULT_POINTS = frozenset(
         "worker.simulate.kill",
         "worker.upload.corrupt",
         "worker.upload.duplicate",
+        "store.write_enospc",
+        "store.read_corrupt",
+        "journal.torn_tail",
+        "spool.enospc",
     }
 )
 

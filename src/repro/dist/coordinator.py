@@ -37,6 +37,13 @@ journalled durably before any cell is served, and a restarted
 coordinator re-admits every unsettled one (leases treated as expired,
 store-hits skipped as usual), so recovery is byte-identical to an
 uninterrupted run.
+
+Disk pressure degrades deliberately (:mod:`repro.common.diskguard`):
+workers advertise ``low_disk`` in their hello/renew frames and the
+coordinator stops granting them chunked-trace cells (whose chunks land
+in the worker's spool) until the pressure clears, and new job
+admissions are refused with one clear error while the store's own disk
+is critical -- both surfaced as events and ``/metrics`` counters.
 """
 
 from __future__ import annotations
@@ -50,6 +57,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.api.specs import PredictorSpec
+from repro.common import diskguard
 from repro.dist import protocol
 from repro.dist.journal import CoordinatorJournal
 from repro.dist.protocol import ProtocolError
@@ -320,6 +328,14 @@ class Coordinator:
         self._metric_connections = self.metrics.counter(
             "repro_connections_total", "TCP connections accepted."
         )
+        self._metric_lease_shed = self.metrics.counter(
+            "repro_lease_shed_low_disk_total",
+            "Chunked-trace cells withheld from low_disk workers.",
+        )
+        self._metric_admits_shed = self.metrics.counter(
+            "repro_jobs_shed_disk_critical_total",
+            "Job admissions refused because the store disk was critical.",
+        )
 
         self._lock = threading.RLock()
         self._cond = threading.Condition(self._lock)
@@ -533,7 +549,26 @@ class Coordinator:
         cells: Optional[Sequence[Tuple[str, int]]] = None,
         chunked: Optional[Dict[str, ChunkedTrace]] = None,
     ) -> SweepJob:
-        """Expand spec entries x traces into cells and enqueue them."""
+        """Expand spec entries x traces into cells and enqueue them.
+
+        Refuses up front (with one actionable error) while the store's
+        disk is critically low: admitting a sweep whose every result
+        write would fail only converts disk exhaustion into thousands
+        of store errors downstream.
+        """
+        if self.store is not None:
+            try:
+                diskguard.check_writable(self.store.root, what="new job admission")
+            except diskguard.DiskPressureError as error:
+                self._metric_admits_shed.inc()
+                self.log(f"job admission shed: {error}")
+                if self.events is not None:
+                    self.events.emit(
+                        "job_shed_disk_critical",
+                        store=str(self.store.root),
+                        free_bytes=error.free,
+                    )
+                raise ValueError(str(error)) from None
         labels = [str(entry["label"]) for entry in entries]
         if len(set(labels)) != len(labels):
             raise ValueError("two specs share a label; give one an explicit name")
@@ -815,6 +850,9 @@ class Coordinator:
             if self._stopping.is_set():
                 return ("shutdown", [])
             self._reap_expired_locked()
+            owner_info = self._conn_info.get(owner)
+            low_disk = bool(owner_info and owner_info.get("low_disk"))
+            shed = 0
             granted: List[_Cell] = []
             anchor: Optional[Tuple[str, bool]] = None
             passed_over: List[int] = []
@@ -827,6 +865,14 @@ class Coordinator:
                     continue
                 if cell.job.slots[cell.label][cell.index] is not None:
                     continue  # completed while queued (duplicate requeue)
+                if low_disk and cell.trace_fingerprint in self._chunked:
+                    # This worker's spool disk is low: chunked-trace cells
+                    # (whose chunks land in that spool) are withheld until
+                    # its renew frames report the pressure cleared.  The
+                    # cell stays queued for any other worker.
+                    passed_over.append(cell_id)
+                    shed += 1
+                    continue
                 affinity = (cell.trace_fingerprint, cell.job.track_per_pc)
                 if anchor is not None and affinity != anchor:
                     # A different trace: not part of this grant.  Skipped
@@ -843,6 +889,20 @@ class Coordinator:
                 granted.append(cell)
             for cell_id in reversed(passed_over):
                 self._pending.appendleft(cell_id)
+            if shed:
+                self._metric_lease_shed.inc(shed)
+                if owner_info is not None and not owner_info.get("shed_logged"):
+                    # One event per low-disk episode, not per 0.25s poll.
+                    owner_info["shed_logged"] = True
+                    name = self._conn_names.get(owner, f"connection {owner}")
+                    self.log(
+                        f"worker {name!r}: withholding chunked-trace cells "
+                        f"(low disk)"
+                    )
+                    if self.events is not None:
+                        self.events.emit(
+                            "lease_shed_low_disk", worker=name, cells=shed
+                        )
             if granted:
                 now = time.monotonic()
                 deadline = now + self.lease_timeout * len(granted)
@@ -927,6 +987,16 @@ class Coordinator:
                     trace_fingerprint=cell.trace_fingerprint,
                     spec=cell.spec_dict,
                 )
+            except diskguard.DiskPressureError as error:
+                # Best-effort still, but a shed persist is worth one log
+                # line per episode -- the sweep completes with the cells
+                # held in memory and an empty (or partial) store.
+                if self.store.writes_shed == 1:
+                    self.log(f"store: shedding result persists ({error})")
+                    if self.events is not None:
+                        self.events.emit(
+                            "store_write_shed_disk_critical", key=cell.store_key
+                        )
             except (OSError, TypeError, ValueError):
                 pass  # an unwritable store must not fail the sweep
         self._notify_progress_locked(cell.job)
@@ -1055,6 +1125,11 @@ class Coordinator:
                     for info in self._conn_info.values()
                     if info["role"] == "worker"
                 ),
+                "workers_low_disk": sum(
+                    1
+                    for info in self._conn_info.values()
+                    if info["role"] == "worker" and info.get("low_disk")
+                ),
                 "connections": len(self._conn_info),
                 "store": str(self.store.root) if self.store is not None else None,
             }
@@ -1096,6 +1171,7 @@ class Coordinator:
                     "last_seen_seconds": now - info["last_seen"],
                     "leases": leases_by_owner.get(conn_id, 0),
                     "completed": info["completed"],
+                    "low_disk": bool(info.get("low_disk")),
                 }
                 for conn_id, info in sorted(self._conn_info.items())
                 if info["role"] == "worker"
@@ -1131,6 +1207,7 @@ class Coordinator:
                     "connected_mono": now,
                     "last_seen": now,
                     "completed": 0,
+                    "low_disk": False,
                 }
             self._metric_connections.inc()
             self._conn_threads = [
@@ -1194,17 +1271,28 @@ class Coordinator:
             )
             return
         worker_name = str(hello.get("worker") or f"conn-{conn_id}")
+        # "low_disk" is an additive version-1 hello/renew key; absent
+        # means a pre-diskguard worker (treated as having headroom).
+        low_disk = bool(hello.get("low_disk"))
         with self._lock:
             self._conn_names[conn_id] = worker_name
             info = self._conn_info.get(conn_id)
             if info is not None:
                 info["name"] = worker_name
                 info["role"] = "worker"
+                info["low_disk"] = low_disk
         self.log(f"worker {worker_name} connected (connection {conn_id})")
         if self.events is not None:
             self.events.emit(
-                "worker_connected", worker=worker_name, connection=conn_id
+                "worker_connected",
+                worker=worker_name,
+                connection=conn_id,
+                low_disk=low_disk,
             )
+            if low_disk:
+                self.events.emit(
+                    "worker_low_disk", worker=worker_name, low_disk=True
+                )
         protocol.write_frame(
             wfile,
             {
@@ -1260,6 +1348,27 @@ class Coordinator:
                         isinstance(cell_id, int) for cell_id in cell_ids
                     ):
                         raise ProtocolError("renew frame needs a 'cells' id list")
+                    if "low_disk" in frame:
+                        # Heartbeat refresh of the worker's disk state;
+                        # transitions are logged once per episode.
+                        low_disk = bool(frame.get("low_disk"))
+                        changed = False
+                        with self._lock:
+                            info = self._conn_info.get(conn_id)
+                            if info is not None and info["low_disk"] != low_disk:
+                                info["low_disk"] = low_disk
+                                info["shed_logged"] = False
+                                changed = True
+                        if changed:
+                            self.log(
+                                f"worker {worker_name}: low_disk -> {low_disk}"
+                            )
+                            if self.events is not None:
+                                self.events.emit(
+                                    "worker_low_disk",
+                                    worker=worker_name,
+                                    low_disk=low_disk,
+                                )
                     renewed, lost = self._renew(conn_id, cell_ids)
                     protocol.write_frame(
                         wfile,

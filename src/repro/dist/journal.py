@@ -28,34 +28,70 @@ coordinator (no store) still recovers the job, just recomputing its
 cells.
 
 The file format is deliberately boring: one JSON object per line, append
-only, no compaction in place.  A crash mid-append leaves at most one
-truncated final line, which replay skips; a corrupt interior line is
-skipped the same way (losing one job beats refusing to start).
-:meth:`compact` rewrites the file without settled jobs so a long-lived
-service's journal does not grow forever.
+only.  A crash mid-append leaves at most one truncated final line, which
+replay skips; a corrupt interior line is skipped the same way (losing
+one job beats refusing to start).  Re-opening a journal whose last line
+is torn *heals* the tail (writes the missing newline) before appending,
+so the torn record costs one event, never two.  :meth:`compact` rewrites
+the file without settled jobs -- explicitly at recovery, and
+automatically whenever the file grows a :attr:`compact_threshold` of
+bytes past its last compacted size -- preserving the fsync'd
+write-then-rename discipline, so a long-lived service's journal does not
+grow forever.  Appends refuse up front with one actionable error when
+disk headroom is critical (:mod:`repro.common.diskguard`) rather than
+tearing the file.
 """
 
 from __future__ import annotations
 
+import errno
 import json
 import os
+import sys
 import threading
 from pathlib import Path
 from typing import Any, Dict, List, Union
 
-__all__ = ["CoordinatorJournal"]
+from repro.common import diskguard
+
+__all__ = ["CoordinatorJournal", "DEFAULT_COMPACT_THRESHOLD"]
+
+#: Auto-compaction trigger: compact once the journal grows this many
+#: bytes past its last compacted size (0 disables auto-compaction).
+DEFAULT_COMPACT_THRESHOLD = 1024 * 1024
+
+
+def _chaos_should(point: str) -> bool:
+    """Lazily-bound chaos check (mirrors the store's: one env lookup
+    unless ``REPRO_CHAOS`` is set or the chaos module is already loaded)."""
+    module = sys.modules.get("repro.dist.chaos")
+    if module is None:
+        if not os.environ.get("REPRO_CHAOS"):
+            return False
+        from repro.dist import chaos as module
+    return module.should(point)
 
 
 class CoordinatorJournal:
     """Append-only JSONL log of admitted jobs (see module docstring)."""
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        path: Union[str, Path],
+        compact_threshold: int = DEFAULT_COMPACT_THRESHOLD,
+    ) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.compact_threshold = int(compact_threshold)
         self._lock = threading.Lock()
         # Line-buffered append handle, opened lazily so replay-before-
         # append never sees our own empty write.
         self._handle = None
+        # True when a failed append may have left a newline-less tail;
+        # the next append starts a fresh line before writing.
+        self._dirty_tail = False
+        # Next size (bytes) at which an append triggers auto-compaction.
+        self._compact_floor = self.compact_threshold
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CoordinatorJournal({str(self.path)!r})"
@@ -66,15 +102,56 @@ class CoordinatorJournal:
 
     def _append(self, record: Dict[str, Any]) -> None:
         line = json.dumps(record, separators=(",", ":"), ensure_ascii=False)
+        data = line.encode("utf-8") + b"\n"
         with self._lock:
+            diskguard.check_writable(
+                self.path.parent, what="coordinator journal append"
+            )
             if self._handle is None:
-                self._handle = open(self.path, "ab")
-            self._handle.write(line.encode("utf-8") + b"\n")
-            self._handle.flush()
+                self._open_locked()
+            if self._dirty_tail:
+                # A previous append failed partway through its line; start
+                # a fresh one so the torn record costs one event, not two.
+                self._handle.write(b"\n")
+                self._dirty_tail = False
+            if _chaos_should("journal.torn_tail"):
+                # Persist only a newline-less prefix, exactly what a crash
+                # mid-append leaves behind, then fail the append.
+                self._handle.write(data[: max(1, len(data) // 2)])
+                self._handle.flush()
+                try:
+                    os.fsync(self._handle.fileno())
+                except OSError:
+                    pass
+                self._dirty_tail = True
+                raise OSError(
+                    errno.EIO, "chaos: torn journal append (crash mid-write)"
+                )
+            try:
+                self._handle.write(data)
+                self._handle.flush()
+            except OSError:
+                self._dirty_tail = True  # unknown how much reached the disk
+                raise
             try:
                 os.fsync(self._handle.fileno())
             except OSError:  # pragma: no cover - exotic filesystems
                 pass
+            self._maybe_compact_locked()
+
+    def _open_locked(self) -> None:
+        self._handle = open(self.path, "ab")
+        # Heal a torn tail left by a crashed predecessor: appending to a
+        # newline-less final line would corrupt the *next* record too.
+        try:
+            if self._handle.tell() > 0:
+                with open(self.path, "rb") as reader:
+                    reader.seek(-1, os.SEEK_END)
+                    if reader.read(1) != b"\n":
+                        self._handle.write(b"\n")
+                        self._handle.flush()
+        except OSError:  # pragma: no cover - probe is best-effort
+            pass
 
     def record_admit(self, job_id: int, payload: Dict[str, Any]) -> None:
         """Durably record an admitted job before any cell is served.
@@ -141,24 +218,56 @@ class CoordinatorJournal:
     def compact(self) -> int:
         """Rewrite the journal keeping only unsettled jobs; returns kept count.
 
-        Safe to call on a quiesced coordinator (start-up, after recovery);
-        uses write-then-rename so a crash mid-compaction leaves either the
-        old or the new journal, never a half-written one.
+        Uses write-then-rename so a crash mid-compaction leaves either the
+        old or the new journal, never a half-written one.  Called
+        explicitly after recovery and automatically by :meth:`_append`
+        once the file crosses :attr:`compact_threshold` (see
+        :meth:`_maybe_compact_locked`).
         """
-        live = self.replay()
         with self._lock:
-            if self._handle is not None:
-                self._handle.close()
-                self._handle = None
-            temp = self.path.with_suffix(".compact.tmp")
-            with open(temp, "wb") as handle:
-                for record in live:
-                    line = json.dumps(record, separators=(",", ":"))
-                    handle.write(line.encode("utf-8") + b"\n")
-                handle.flush()
-                try:
-                    os.fsync(handle.fileno())
-                except OSError:  # pragma: no cover
-                    pass
-            os.replace(temp, self.path)
+            return self._compact_locked()
+
+    def _compact_locked(self) -> int:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        live = self.replay()
+        temp = self.path.with_suffix(".compact.tmp")
+        with open(temp, "wb") as handle:
+            for record in live:
+                line = json.dumps(record, separators=(",", ":"))
+                handle.write(line.encode("utf-8") + b"\n")
+            handle.flush()
+            try:
+                os.fsync(handle.fileno())
+            except OSError:  # pragma: no cover
+                pass
+        os.replace(temp, self.path)
+        self._dirty_tail = False  # the compacted file always ends cleanly
         return len(live)
+
+    def _maybe_compact_locked(self) -> None:
+        """Opportunistic in-place compaction once the file outgrows the
+        threshold (caller holds ``self._lock``; the append already
+        landed, so a failed compaction costs nothing)."""
+        if self.compact_threshold <= 0:
+            return
+        try:
+            size = (
+                self._handle.tell()
+                if self._handle is not None
+                else self.path.stat().st_size
+            )
+        except (OSError, ValueError):
+            return
+        if size < self._compact_floor:
+            return
+        try:
+            self._compact_locked()
+            size = self.path.stat().st_size
+        except OSError:
+            pass
+        # Re-arm a full threshold above the (possibly uncompactable --
+        # all-live) current size, so a journal that cannot shrink is not
+        # re-compacted on every append.
+        self._compact_floor = size + self.compact_threshold

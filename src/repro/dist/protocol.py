@@ -80,6 +80,12 @@ observability layer rides the same rule: instrumented workers attach
 ``"timings"`` (a ``{phase: seconds}`` mapping) and ``"batch"`` (cells
 sharing those walls) to ``result`` frames, and the coordinator treats
 both as optional -- pre-instrumentation peers interoperate unchanged.
+So does disk-pressure signalling: workers attach ``"low_disk"`` (bool)
+to their ``hello`` and ``renew`` frames when their trace-spool headroom
+is low (:mod:`repro.common.diskguard`), and the coordinator then stops
+leasing them chunked-trace cells until the pressure clears; a frame
+without the key is a pre-diskguard worker and is treated as having
+headroom.
 
 A malformed, oversized or unexpected frame gets a ``{"type": "error",
 "message": ...}`` reply (best effort) and the connection is closed; any

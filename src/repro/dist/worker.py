@@ -37,13 +37,23 @@ immediately, on missing renewal at lease expiry otherwise).  With a
 local ``--store`` the worker reuses cells it already has and persists
 what it computes, so a shared store directory turns uploads into pure
 bookkeeping.  The named fault points of :mod:`repro.dist.chaos` are
-compiled into this module's lease/simulate/upload path.
+compiled into this module's lease/simulate/upload/spool path.
+
+Disk hygiene: spool directories embed the owning pid
+(``repro-worker-spool-<pid>-...``) and every worker sweeps orphans left
+by hard-killed predecessors at startup (:func:`sweep_orphan_spools`).
+When the spool disk runs low on headroom the worker advertises
+``low_disk`` in its (additive, version-1) hello and renew frames so the
+coordinator stops routing chunked-trace work to it until the spool
+drains.
 """
 
 from __future__ import annotations
 
+import errno
 import os
 import random
+import shutil
 import socket
 import tempfile
 import threading
@@ -53,6 +63,7 @@ from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wai
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Union
 
+from repro.common import diskguard
 from repro.dist import chaos, protocol
 from repro.dist.protocol import ConnectionClosed, ProtocolError
 from repro.obs import timing_log_for
@@ -69,9 +80,11 @@ from repro.trace.trace import Trace
 __all__ = [
     "DEFAULT_TRACE_CACHE",
     "DEFAULT_RECONNECT",
+    "DEFAULT_SPOOL_MAX_AGE",
     "CoordinatorUnreachable",
     "Worker",
     "run_worker",
+    "sweep_orphan_spools",
 ]
 
 #: Default ceiling on decoded traces a worker keeps in memory.  A
@@ -83,6 +96,68 @@ DEFAULT_TRACE_CACHE = 8
 #: Default window (seconds) a worker keeps trying to reconnect after an
 #: abrupt connection loss before concluding the coordinator is gone.
 DEFAULT_RECONNECT = 30.0
+
+#: Spool tempdir prefix; the owning pid follows it so a later worker can
+#: tell a live neighbour's spool from a dead one's.
+_SPOOL_PREFIX = "repro-worker-spool-"
+
+#: Orphan sweep age fallback: spools whose owner pid cannot be read
+#: (pre-pid naming) or still appears alive (pid reuse) are only removed
+#: once they are this old.
+DEFAULT_SPOOL_MAX_AGE = 24 * 3600.0
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True  # EPERM and friends: the pid exists
+    return True
+
+
+def sweep_orphan_spools(max_age_seconds: float = DEFAULT_SPOOL_MAX_AGE) -> int:
+    """Remove spool tempdirs leaked by dead workers; returns the count.
+
+    A worker killed hard (chaos ``worker.simulate.kill``, OOM, SIGKILL)
+    never runs its spool cleanup, leaking a tempdir per kill.  Every
+    worker sweeps at startup: a spool whose embedded pid no longer
+    exists is removed immediately, and one whose pid cannot be parsed
+    or still appears alive (pid reuse) is removed only past
+    ``max_age_seconds``.
+    """
+    removed = 0
+    try:
+        candidates = sorted(Path(tempfile.gettempdir()).glob(f"{_SPOOL_PREFIX}*"))
+    except OSError:
+        return 0
+    now = time.time()
+    for path in candidates:
+        try:
+            if not path.is_dir():
+                continue
+        except OSError:
+            continue
+        pid_text = path.name[len(_SPOOL_PREFIX):].split("-", 1)[0]
+        stale = False
+        if pid_text.isdigit():
+            pid = int(pid_text)
+            if pid == os.getpid():
+                continue  # our own spool (should not exist yet, but still)
+            stale = not _pid_alive(pid)
+        if not stale:
+            try:
+                stale = now - path.stat().st_mtime >= max_age_seconds
+            except OSError:
+                continue
+        if stale:
+            shutil.rmtree(path, ignore_errors=True)
+            if not path.exists():
+                removed += 1
+    return removed
 
 
 class CoordinatorUnreachable(ConnectionError):
@@ -277,14 +352,38 @@ class Worker:
                 f"for requested {fingerprint[:12]}"
             )
         if self._spool is None:
-            self._spool = tempfile.TemporaryDirectory(prefix="repro-worker-spool-")
+            self._spool = tempfile.TemporaryDirectory(
+                prefix=f"{_SPOOL_PREFIX}{os.getpid()}-"
+            )
         spool_dir = Path(self._spool.name) / fingerprint[:16]
         spool_dir.mkdir(parents=True, exist_ok=True)
         return ChunkedTrace(
             spool_dir,
             manifest=manifest,
-            fetch=lambda index: self._fetch_chunk(fingerprint, index),
+            fetch=lambda index: self._spool_fetch(fingerprint, index),
         )
+
+    def _spool_fetch(self, fingerprint: str, index: int) -> bytes:
+        """Chunk fetch with the spool's disk guard and chaos point compiled
+        in.  Failing *before* the coordinator exchange keeps the spool
+        free of partial chunk files; the error fails this lease cleanly
+        (the coordinator requeues) instead of tearing the spool."""
+        if chaos.active() and chaos.should("spool.enospc"):
+            raise OSError(
+                errno.ENOSPC, "chaos: injected ENOSPC on worker spool write"
+            )
+        if self._spool is not None:
+            diskguard.check_writable(
+                self._spool.name, what="worker trace-spool chunk write"
+            )
+        return self._fetch_chunk(fingerprint, index)
+
+    def _low_disk(self) -> bool:
+        """Whether the spool disk is low on headroom -- the state the
+        additive ``low_disk`` hello/renew key advertises so the
+        coordinator stops granting chunked-trace cells to us."""
+        root = self._spool.name if self._spool is not None else tempfile.gettempdir()
+        return diskguard.is_low(root)
 
     def _trace_for(self, rfile, wfile, item: Dict[str, Any]) -> Union[Trace, ChunkedTrace]:
         fingerprint = item["trace"]
@@ -353,7 +452,16 @@ class Worker:
                 continue
             try:
                 reply = self._request(
-                    rfile, wfile, {"type": "renew", "cells": held}, "renewed"
+                    rfile, wfile,
+                    # low_disk is an additive version-1 key: it refreshes
+                    # the coordinator's routing state every heartbeat and
+                    # is ignored by pre-diskguard coordinators.
+                    {
+                        "type": "renew",
+                        "cells": held,
+                        "low_disk": self._low_disk(),
+                    },
+                    "renewed",
                 )
             except (ProtocolError, OSError):
                 return
@@ -395,6 +503,9 @@ class Worker:
                 trace_fingerprint=item.get("trace"),
                 spec=item.get("spec"),
             )
+        except diskguard.DiskPressureError as error:
+            if self.store.writes_shed == 1:
+                self.log(f"store: shedding result persists ({error})")
         except (OSError, TypeError, ValueError):
             pass  # an unwritable store must not fail the worker
 
@@ -479,6 +590,11 @@ class Worker:
         """Serve until the coordinator shuts down cleanly, the reconnect
         window closes, or :meth:`request_stop` drains us; returns cells
         completed."""
+        swept = sweep_orphan_spools()
+        if swept:
+            self.log(
+                f"worker {self.name}: removed {swept} orphaned spool dir(s)"
+            )
         sock = self._connect(self.connect_retry)
         pool: Optional[ProcessPoolExecutor] = None
         if self.jobs > 1:
@@ -553,6 +669,7 @@ class Worker:
                     "role": "worker",
                     "protocol": protocol.PROTOCOL_VERSION,
                     "worker": self.name,
+                    "low_disk": self._low_disk(),
                 },
                 "welcome",
             )

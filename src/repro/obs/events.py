@@ -9,7 +9,10 @@ write one JSON object per line to ``repro.obs.log``::
 
 The log is an *operational* artifact -- it never feeds back into
 results, store keys or scheduling, so every write is best-effort: an
-unwritable log line is dropped silently rather than failing the sweep.
+unwritable log line is dropped silently rather than failing the sweep,
+and when disk headroom under the log is critical
+(:mod:`repro.common.diskguard`) writes are shed up front so telemetry
+never competes with result records for the last free bytes.
 
 Rotation is by size: when the current file would exceed ``max_bytes``
 it is renamed to ``<name>.1`` (the previous ``.1`` is dropped), so a
@@ -24,6 +27,8 @@ import threading
 import time
 from pathlib import Path
 from typing import Any, Optional, Union
+
+from repro.common import diskguard
 
 __all__ = ["DEFAULT_EVENT_LOG", "EventLog", "event_log_for"]
 
@@ -78,6 +83,8 @@ class EventLog:
         except (TypeError, ValueError):
             return
         data = line.encode("utf-8")
+        if diskguard.is_critical(self.path.parent):
+            return  # shed telemetry before it competes with durable writes
         with self._lock:
             try:
                 self.path.parent.mkdir(parents=True, exist_ok=True)

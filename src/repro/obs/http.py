@@ -33,6 +33,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.common import diskguard
 from repro.obs.metrics import MetricsRegistry, default_registry
 
 __all__ = ["DEFAULT_STATUS_PORT", "StatusServer"]
@@ -183,6 +184,11 @@ class StatusServer:
             "Worker connections currently open.",
         )
         gauge(
+            "repro_workers_low_disk",
+            snap.get("workers_low_disk"),
+            "Connected workers advertising low disk headroom.",
+        )
+        gauge(
             "repro_cells_requeued_total",
             stats.get("requeued"),
             "Cells requeued after a lost lease.",
@@ -209,6 +215,28 @@ class StatusServer:
                 summary.get("distinct_traces"),
                 "Distinct trace fingerprints in the store.",
             )
+            root = getattr(self.store, "root", None)
+            if root is not None:
+                try:
+                    free = diskguard.free_bytes(root)
+                except OSError:
+                    free = None
+                gauge(
+                    "repro_store_disk_free_bytes",
+                    free,
+                    "Free bytes on the filesystem holding the result store.",
+                )
+                disk_state = diskguard.state(root)
+                gauge(
+                    "repro_store_disk_low",
+                    1 if disk_state in ("low", "critical") else 0,
+                    "1 when store disk headroom is below the low threshold.",
+                )
+                gauge(
+                    "repro_store_disk_critical",
+                    1 if disk_state == "critical" else 0,
+                    "1 when store disk headroom is below the critical threshold.",
+                )
         body = "\n".join(lines) + ("\n" if lines else "")
         return body + self.metrics.render_prometheus()
 

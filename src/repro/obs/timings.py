@@ -49,6 +49,7 @@ import time
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Union
 
+from repro.common import diskguard
 from repro.obs.metrics import DEFAULT_TIME_BUCKETS, Histogram
 
 __all__ = [
@@ -130,6 +131,8 @@ class TimingLog:
                     )
                     self._histograms[name] = histogram
                 histogram.observe(value)
+            if diskguard.is_critical(self.path.parent):
+                return  # histograms still updated; only the file write sheds
             try:
                 self.path.parent.mkdir(parents=True, exist_ok=True)
                 with open(self.path, "ab") as handle:

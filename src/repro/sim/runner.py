@@ -33,6 +33,7 @@ pickle by directory, so the pool backend works unchanged).
 from __future__ import annotations
 
 import hashlib
+import sys
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field, replace
@@ -51,6 +52,7 @@ from typing import (
     Union,
 )
 
+from repro.common import diskguard
 from repro.obs.timings import TimingLog, timing_log_for
 from repro.predictors.base import BranchPredictor
 from repro.predictors.composites import CompositeOptions, SizeProfile, core_key_for
@@ -599,6 +601,11 @@ class SuiteRunner:
                 trace_fingerprint=trace.fingerprint(),
                 spec=resolved.to_dict(),
             )
+        except diskguard.DiskPressureError as error:
+            # The run keeps its results in memory; warn once so a sweep
+            # that silently produced an empty store is explicable.
+            if self.store.writes_shed == 1:
+                print(f"store: shedding result persists ({error})", file=sys.stderr)
         except (OSError, TypeError, ValueError):
             pass
 

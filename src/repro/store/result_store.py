@@ -40,20 +40,39 @@ object tree doubles as the shared index: there is no central index file
 to contend over, which is what makes independent writers safe.  Corrupt
 records (truncated by a crash, hand-edited) are treated as misses and
 removed so the cell is recomputed and rewritten.
+
+Integrity
+---------
+Every record written by this module carries an additive ``"checksum"``
+field -- ``sha256:`` over the record's canonical JSON with the checksum
+field itself excluded -- verified on every read, so a bit-rotted record
+that still parses as JSON is caught and recomputed rather than served.
+Legacy records (written before the field existed) stay readable; the
+checksum rides *outside* the keyed content, so cell keys and result
+bytes are unchanged.  :meth:`ResultStore.verify` audits the whole store,
+classifying each record ``ok`` / ``legacy`` / ``corrupt`` /
+``truncated``; with ``repair=True`` bad records are quarantined into a
+``<root>/corrupt/`` sidecar (never deleted) so the next sweep
+transparently re-runs exactly those cells.  Durable writes refuse up
+front with one actionable error when disk headroom is critical
+(:mod:`repro.common.diskguard`).
 """
 
 from __future__ import annotations
 
+import errno
 import gzip
 import hashlib
 import json
 import os
+import sys
 import threading
 import time
 from dataclasses import asdict
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
+from repro.common import diskguard
 from repro.predictors.composites import SizeProfile
 from repro.sim.engine import ENGINE_VERSION, SimulationResult
 
@@ -74,6 +93,47 @@ _STORE_ENV = "REPRO_RESULT_STORE"
 #: Errors that mean "this record is unreadable", not "the store is broken".
 _CORRUPT_ERRORS = (OSError, ValueError, KeyError, TypeError, EOFError,
                    json.JSONDecodeError, gzip.BadGzipFile)
+
+#: Additive integrity field stamped on every written record (legacy
+#: records lack it and remain readable -- see :meth:`ResultStore.verify`).
+_CHECKSUM_FIELD = "checksum"
+_CHECKSUM_PREFIX = "sha256:"
+
+
+def _record_checksum(record: Dict[str, Any]) -> Optional[str]:
+    """``sha256:`` digest of ``record``'s canonical JSON, checksum excluded.
+
+    Canonical form is sorted-keys JSON, so the digest survives a
+    parse/re-dump round trip (export/import, coordinator ingest).
+    ``None`` when the record cannot be canonicalised (non-sortable
+    keys); such a record is simply written without a checksum.
+    """
+    body = {
+        field: value
+        for field, value in record.items()
+        if field != _CHECKSUM_FIELD
+    }
+    try:
+        payload = json.dumps(body, ensure_ascii=False, sort_keys=True, default=repr)
+    except (TypeError, ValueError):
+        return None
+    return _CHECKSUM_PREFIX + hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _chaos_should(point: str) -> bool:
+    """Whether the chaos fault at ``point`` fires, without dragging the
+    dist package into production store paths.
+
+    The chaos module is only imported once it is plausibly configured
+    (``REPRO_CHAOS`` set, or already loaded by a test's direct
+    ``configure``); otherwise this is one env lookup.
+    """
+    module = sys.modules.get("repro.dist.chaos")
+    if module is None:
+        if not os.environ.get("REPRO_CHAOS"):
+            return False
+        from repro.dist import chaos as module
+    return module.should(point)
 
 
 def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
@@ -142,6 +202,7 @@ class ResultStore:
         self.compress = bool(compress)
         self.hits = 0
         self.misses = 0
+        self.writes_shed = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ResultStore({str(self.root)!r})"
@@ -332,8 +393,27 @@ class ResultStore:
         return self._write_record(key, record)
 
     def _write_record(self, key: str, record: Dict[str, Any]) -> Path:
+        try:
+            diskguard.check_writable(
+                self.root, what=f"store record write ({key[:12]})"
+            )
+        except diskguard.DiskPressureError:
+            # Callers that treat the store as best-effort swallow the
+            # error; the counter lets them report the shed writes anyway.
+            self.writes_shed += 1
+            raise
         path = self._paths_for(key)[0]
         path.parent.mkdir(parents=True, exist_ok=True)
+        # Re-stamp the integrity checksum over the content actually being
+        # written (imported records may carry one from their source store).
+        record = {
+            field: value
+            for field, value in record.items()
+            if field != _CHECKSUM_FIELD
+        }
+        checksum = _record_checksum(record)
+        if checksum is not None:
+            record[_CHECKSUM_FIELD] = checksum
         # default=repr: spec overrides may hold non-JSON values (specs allow
         # Any); metadata is descriptive, so a repr beats failing the run.
         payload = json.dumps(record, ensure_ascii=False, default=repr).encode("utf-8")
@@ -345,6 +425,12 @@ class ResultStore:
         )
         try:
             scratch.write_bytes(payload)
+            if _chaos_should("store.write_enospc"):
+                raise OSError(
+                    errno.ENOSPC,
+                    "chaos: injected ENOSPC on store record write",
+                    str(path),
+                )
             os.replace(scratch, path)
         except OSError:
             try:
@@ -436,6 +522,80 @@ class ResultStore:
             "distinct_traces": len(traces),
         }
 
+    def verify(self, repair: bool = False) -> Dict[str, Any]:
+        """Audit every record, classifying its integrity.
+
+        Each record file is classified as one of
+
+        * ``ok`` -- parses, matches its key, and its embedded checksum
+          verifies;
+        * ``legacy`` -- readable but written before checksums existed
+          (still served normally);
+        * ``truncated`` -- cut short (crash or copy mid-write);
+        * ``corrupt`` -- anything else unreadable or inconsistent,
+          including a checksum mismatch on a record that still parses.
+
+        With ``repair=True`` every ``corrupt`` / ``truncated`` file is
+        *quarantined*: moved (same-filesystem rename) into the
+        ``<root>/corrupt/`` sidecar for post-mortem inspection.  The
+        cell then reads as a miss, so the next sweep transparently
+        re-runs exactly the quarantined cells.
+
+        Returns a report dict with ``scanned``, per-class counts,
+        ``quarantined``, and a ``problems`` list (one entry per bad
+        record: key, path, status, detail, and where it was moved).
+        Backs ``repro store verify [--repair] [--json]``.
+        """
+        counts = {"ok": 0, "legacy": 0, "corrupt": 0, "truncated": 0}
+        problems: List[Dict[str, Any]] = []
+        scanned = 0
+        quarantined = 0
+        for path in self._record_paths():
+            scanned += 1
+            status, detail = _classify_record(path)
+            counts[status] += 1
+            if status in ("ok", "legacy"):
+                continue
+            problem: Dict[str, Any] = {
+                "key": _key_of(path),
+                "path": str(path),
+                "status": status,
+                "detail": detail,
+            }
+            if repair:
+                target = self._quarantine(path)
+                if target is not None:
+                    problem["quarantined_to"] = str(target)
+                    quarantined += 1
+            problems.append(problem)
+        report: Dict[str, Any] = {"root": str(self.root), "scanned": scanned}
+        report.update(counts)
+        report["quarantined"] = quarantined
+        report["problems"] = problems
+        return report
+
+    def _quarantine(self, path: Path) -> Optional[Path]:
+        """Move a bad record into the ``corrupt/`` sidecar (never delete).
+
+        Returns the destination, or ``None`` when the move failed (the
+        record then stays in place and is reported but not repaired).
+        """
+        sidecar = self.root / "corrupt"
+        try:
+            sidecar.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            return None
+        target = sidecar / path.name
+        suffix = 0
+        while target.exists():
+            suffix += 1
+            target = sidecar / f"{path.name}.{suffix}"
+        try:
+            os.replace(path, target)
+        except OSError:
+            return None
+        return target
+
     def gc(self, older_than_seconds: float) -> int:
         """Remove records whose file mtime is older than the cut-off.
 
@@ -491,6 +651,11 @@ def _key_of(path: Path) -> str:
 
 def _load_record(path: Path) -> Dict[str, Any]:
     data = path.read_bytes()
+    if _chaos_should("store.read_corrupt"):
+        mangled = bytearray(data)
+        if mangled:
+            mangled[len(mangled) // 2] ^= 0xFF
+        data = bytes(mangled)
     if path.suffix == ".gz":
         data = gzip.decompress(data)
     record = json.loads(data.decode("utf-8"))
@@ -498,7 +663,61 @@ def _load_record(path: Path) -> Dict[str, Any]:
         raise ValueError(f"{path}: record is not a JSON object")
     if record.get("version") != _RECORD_VERSION:
         raise ValueError(f"{path}: unsupported record version")
+    stored = record.get(_CHECKSUM_FIELD)
+    if stored is not None and stored != _record_checksum(record):
+        # Bit rot that still parses as JSON: never serve it.
+        raise ValueError(f"{path}: checksum mismatch")
     return record
+
+
+def _classify_record(path: Path) -> Tuple[str, Optional[str]]:
+    """``("ok" | "legacy" | "corrupt" | "truncated", detail)`` for one file.
+
+    The truncation heuristics lean on the record format: gzip members
+    carry an end-of-stream trailer (a cut stream raises ``EOFError``),
+    and plain records are ``json.dumps`` of a dict, so they always end
+    with ``}`` -- a parse failure on a record that does not is a cut,
+    not a flip.
+    """
+    try:
+        data = path.read_bytes()
+    except OSError as error:
+        return "corrupt", f"unreadable: {error}"
+    if not data:
+        return "truncated", "empty file"
+    if path.suffix == ".gz":
+        try:
+            data = gzip.decompress(data)
+        except EOFError:
+            return "truncated", "gzip stream ends before its trailer"
+        except (OSError, gzip.BadGzipFile) as error:
+            return "corrupt", f"bad gzip: {error}"
+    try:
+        text = data.decode("utf-8")
+    except UnicodeDecodeError as error:
+        return "corrupt", f"not utf-8: {error}"
+    try:
+        record = json.loads(text)
+    except json.JSONDecodeError as error:
+        if not text.rstrip().endswith("}"):
+            return "truncated", "record ends mid-token"
+        return "corrupt", f"bad json: {error.msg} (char {error.pos})"
+    if not isinstance(record, dict):
+        return "corrupt", "record is not a JSON object"
+    if record.get("version") != _RECORD_VERSION:
+        return "corrupt", f"unsupported record version {record.get('version')!r}"
+    if record.get("key") != _key_of(path):
+        return "corrupt", "key does not match file name"
+    try:
+        result_from_dict(record["result"])
+    except _CORRUPT_ERRORS as error:
+        return "corrupt", f"malformed result ({error})"
+    stored = record.get(_CHECKSUM_FIELD)
+    if stored is None:
+        return "legacy", "no checksum (pre-integrity record)"
+    if stored != _record_checksum(record):
+        return "corrupt", "checksum mismatch"
+    return "ok", None
 
 
 def _result_from_record(record: Dict[str, Any]) -> SimulationResult:

@@ -127,6 +127,7 @@ def _store_records(store_dir):
         record.pop("created", None)
         record.pop("age_seconds", None)
         record.pop("path", None)
+        record.pop("checksum", None)  # covers "created", so write-time too
         records[record["key"]] = record
     return records
 

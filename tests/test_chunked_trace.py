@@ -228,6 +228,8 @@ class TestBitIdentity:
         doc_b = json.loads(record_b.read_bytes())
         doc_a.pop("created", None)
         doc_b.pop("created", None)
+        doc_a.pop("checksum", None)  # covers "created", so write-time too
+        doc_b.pop("checksum", None)
         assert doc_a == doc_b
 
 
